@@ -1,0 +1,313 @@
+//! A small reduced ordered BDD package.
+//!
+//! Used for equivalence checking between independently derived covers
+//! (minimizer cross-validation, netlist-vs-specification checks). The
+//! variable order is the natural index order; our functions are small
+//! enough that reordering is unnecessary.
+
+use std::collections::HashMap;
+
+use crate::cover::Cover;
+
+/// Reference to a BDD node (0 = constant false, 1 = constant true).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(pub u32);
+
+/// Constant false.
+pub const FALSE: NodeRef = NodeRef(0);
+/// Constant true.
+pub const TRUE: NodeRef = NodeRef(1);
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: NodeRef,
+    hi: NodeRef,
+}
+
+/// A BDD manager: owns the node table and operation caches.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeRef, NodeRef), NodeRef>,
+    and_cache: HashMap<(NodeRef, NodeRef), NodeRef>,
+    or_cache: HashMap<(NodeRef, NodeRef), NodeRef>,
+    not_cache: HashMap<NodeRef, NodeRef>,
+}
+
+impl Bdd {
+    /// Creates a manager with the two constant nodes.
+    pub fn new() -> Bdd {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: u32::MAX,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    var: u32::MAX,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    /// Number of live nodes (including the constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        let r = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    /// The function of a single positive variable.
+    pub fn var(&mut self, v: usize) -> NodeRef {
+        self.mk(v as u32, FALSE, TRUE)
+    }
+
+    /// The function of a single literal.
+    pub fn literal(&mut self, v: usize, phase: bool) -> NodeRef {
+        if phase {
+            self.mk(v as u32, FALSE, TRUE)
+        } else {
+            self.mk(v as u32, TRUE, FALSE)
+        }
+    }
+
+    fn var_of(&self, r: NodeRef) -> u32 {
+        self.nodes[r.0 as usize].var
+    }
+
+    fn cof(&self, r: NodeRef, var: u32, value: bool) -> NodeRef {
+        let n = self.nodes[r.0 as usize];
+        if r.0 <= 1 || n.var != var {
+            r
+        } else if value {
+            n.hi
+        } else {
+            n.lo
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE {
+            return b;
+        }
+        if b == TRUE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let v = self.var_of(a).min(self.var_of(b));
+        let (a0, a1) = (self.cof(a, v, false), self.cof(a, v, true));
+        let (b0, b1) = (self.cof(b, v, false), self.cof(b, v, true));
+        let lo = self.and(a0, b0);
+        let hi = self.and(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE || a == b {
+            return a;
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&r) = self.or_cache.get(&key) {
+            return r;
+        }
+        let v = self.var_of(a).min(self.var_of(b));
+        let (a0, a1) = (self.cof(a, v, false), self.cof(a, v, true));
+        let (b0, b1) = (self.cof(b, v, false), self.cof(b, v, true));
+        let lo = self.or(a0, b0);
+        let hi = self.or(a1, b1);
+        let r = self.mk(v, lo, hi);
+        self.or_cache.insert(key, r);
+        r
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: NodeRef) -> NodeRef {
+        if a == TRUE {
+            return FALSE;
+        }
+        if a == FALSE {
+            return TRUE;
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return r;
+        }
+        let n = self.nodes[a.0 as usize];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(a, r);
+        r
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        let nb = self.not(b);
+        let na = self.not(a);
+        let l = self.and(a, nb);
+        let r = self.and(na, b);
+        self.or(l, r)
+    }
+
+    /// Builds the BDD of a [`Cover`].
+    pub fn from_cover(&mut self, f: &Cover) -> NodeRef {
+        let mut acc = FALSE;
+        for &c in f.cubes() {
+            let mut term = TRUE;
+            for v in c.vars() {
+                let lit = self.literal(v, c.get(v) == Some(true));
+                term = self.and(term, lit);
+            }
+            acc = self.or(acc, term);
+        }
+        acc
+    }
+
+    /// Evaluates the function at a point.
+    pub fn eval(&self, mut r: NodeRef, code: u64) -> bool {
+        while r.0 > 1 {
+            let n = self.nodes[r.0 as usize];
+            r = if (code >> n.var) & 1 == 1 { n.hi } else { n.lo };
+        }
+        r == TRUE
+    }
+
+    /// Counts satisfying assignments over `num_vars` variables.
+    pub fn sat_count(&self, r: NodeRef, num_vars: usize) -> u64 {
+        fn rec(bdd: &Bdd, r: NodeRef, num_vars: u32, memo: &mut HashMap<NodeRef, u64>) -> u64 {
+            // Returns count over variables var(r)..num_vars assuming
+            // canonical weighting handled by caller.
+            if r == FALSE {
+                return 0;
+            }
+            if r == TRUE {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&r) {
+                return c;
+            }
+            let n = bdd.nodes[r.0 as usize];
+            let lo = rec(bdd, n.lo, num_vars, memo);
+            let hi = rec(bdd, n.hi, num_vars, memo);
+            let lo_skip = bdd.var_of(n.lo).min(num_vars) - n.var - 1;
+            let hi_skip = bdd.var_of(n.hi).min(num_vars) - n.var - 1;
+            let c = (lo << lo_skip) + (hi << hi_skip);
+            memo.insert(r, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let c = rec(self, r, num_vars as u32, &mut memo);
+        let top_skip = self.var_of(r).min(num_vars as u32);
+        let top_skip = if r.0 <= 1 { num_vars as u32 } else { top_skip };
+        c << top_skip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    #[test]
+    fn basics() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let xy = b.and(x, y);
+        assert!(b.eval(xy, 0b11));
+        assert!(!b.eval(xy, 0b01));
+        let nx = b.not(x);
+        let taut = b.or(x, nx);
+        assert_eq!(taut, TRUE);
+        let contra = b.and(x, nx);
+        assert_eq!(contra, FALSE);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        // x or y built two ways gives the same node.
+        let a = b.or(x, y);
+        let ny = b.not(y);
+        let nx = b.not(x);
+        let both_off = b.and(nx, ny);
+        let c = b.not(both_off);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn xor_truth() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.xor(x, y);
+        assert!(!b.eval(f, 0b00));
+        assert!(b.eval(f, 0b01));
+        assert!(b.eval(f, 0b10));
+        assert!(!b.eval(f, 0b11));
+    }
+
+    #[test]
+    fn from_cover_matches_eval() {
+        let f = Cover::from_cubes(
+            3,
+            [
+                Cube::literal(0, true).intersect(Cube::literal(1, false)),
+                Cube::literal(2, true),
+            ],
+        );
+        let mut b = Bdd::new();
+        let r = b.from_cover(&f);
+        for code in 0..8u64 {
+            assert_eq!(b.eval(r, code), f.covers_point(code));
+        }
+    }
+
+    #[test]
+    fn sat_count() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.or(x, y);
+        assert_eq!(b.sat_count(f, 2), 3);
+        assert_eq!(b.sat_count(TRUE, 3), 8);
+        assert_eq!(b.sat_count(FALSE, 3), 0);
+        let g = b.and(x, y);
+        assert_eq!(b.sat_count(g, 2), 1);
+        // With an extra free variable the counts double.
+        assert_eq!(b.sat_count(g, 3), 2);
+    }
+}

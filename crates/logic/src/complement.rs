@@ -1,0 +1,127 @@
+//! Cover complementation by Shannon expansion.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, MAX_VARS};
+
+/// Computes a cover of the complement of `f` over its variable set.
+pub fn complement(f: &Cover) -> Cover {
+    comp_rec(f.clone(), f.num_vars())
+}
+
+fn comp_rec(mut f: Cover, num_vars: usize) -> Cover {
+    if f.is_empty() {
+        return Cover::one(num_vars);
+    }
+    if f.cubes().iter().any(|c| c.is_top()) {
+        return Cover::empty(num_vars);
+    }
+    f.weed();
+    if f.len() == 1 {
+        return complement_cube(f.cubes()[0], num_vars);
+    }
+    // Split on the most frequent variable.
+    let mut counts = [0usize; MAX_VARS];
+    for c in f.cubes() {
+        let mut bits = c.pos | c.neg;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            counts[i] += 1;
+            bits &= bits - 1;
+        }
+    }
+    let var = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap();
+    let f0 = comp_rec(f.cofactor(var, false), num_vars);
+    let f1 = comp_rec(f.cofactor(var, true), num_vars);
+    // complement = x'·f0' + x·f1' with single-cube absorption cleanup.
+    let mut out = Cover::empty(num_vars);
+    for &c in f0.cubes() {
+        // If the same cube appears in both halves it is independent of x.
+        if f1.cubes().contains(&c) {
+            out.push(c);
+        } else {
+            out.push(c.intersect(Cube::literal(var, false)));
+        }
+    }
+    for &c in f1.cubes() {
+        if !f0.cubes().contains(&c) {
+            out.push(c.intersect(Cube::literal(var, true)));
+        }
+    }
+    out.weed();
+    out
+}
+
+/// De Morgan complement of a single cube: one cube per literal.
+pub fn complement_cube(c: Cube, num_vars: usize) -> Cover {
+    let mut out = Cover::empty(num_vars);
+    for v in c.vars() {
+        match c.get(v) {
+            Some(true) => out.push(Cube::literal(v, false)),
+            Some(false) => out.push(Cube::literal(v, true)),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tautology::{cover_equal, is_tautology};
+
+    fn lit(v: usize, p: bool) -> Cube {
+        Cube::literal(v, p)
+    }
+
+    #[test]
+    fn complement_of_constants() {
+        assert!(is_tautology(&complement(&Cover::empty(3))));
+        assert!(complement(&Cover::one(3)).is_empty());
+    }
+
+    #[test]
+    fn complement_of_cube() {
+        // (ab)' = a' + b'.
+        let f = Cover::from_cubes(2, [lit(0, true).intersect(lit(1, true))]);
+        let g = complement(&f);
+        let expect = Cover::from_cubes(2, [lit(0, false), lit(1, false)]);
+        assert!(cover_equal(&g, &expect));
+    }
+
+    #[test]
+    fn complement_partitions_space() {
+        let cases = [
+            Cover::from_cubes(3, [lit(0, true), lit(1, false).intersect(lit(2, true))]),
+            Cover::from_minterms(3, &[1, 3, 5]),
+            Cover::from_cubes(
+                4,
+                [
+                    lit(0, true).intersect(lit(3, false)),
+                    lit(1, true),
+                    lit(2, false).intersect(lit(0, false)),
+                ],
+            ),
+        ];
+        for f in &cases {
+            let fc = complement(f);
+            // f ∪ f' is a tautology; f ∩ f' is empty.
+            assert!(is_tautology(&f.or(&fc)), "f={f} f'={fc}");
+            let inter = f.and(&fc);
+            for m in 0..(1u64 << f.num_vars()) {
+                assert!(!inter.covers_point(m), "overlap at {m:b} for {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity() {
+        let f = Cover::from_cubes(3, [lit(0, true).intersect(lit(1, true)), lit(2, false)]);
+        let ff = complement(&complement(&f));
+        assert!(cover_equal(&f, &ff));
+    }
+}

@@ -1,0 +1,255 @@
+//! Heuristic two-level minimization in the espresso style:
+//! EXPAND → IRREDUNDANT → (REDUCE → EXPAND → IRREDUNDANT)*.
+//!
+//! The implementation trades the blocking/covering matrices of the
+//! original for direct cube algebra (our functions have at most a few
+//! thousand minterms over ≤ 64 variables), but keeps the loop structure
+//! and the guarantees: the result covers the on-set, avoids the off-set,
+//! and is made of prime, irredundant cubes.
+
+use crate::complement::complement;
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::tautology::{cover_contains, cube_covered};
+
+/// Cost of a cover: cube count then literal count (lexicographic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cost {
+    /// Number of cubes (product terms).
+    pub cubes: usize,
+    /// Number of literals.
+    pub literals: u32,
+}
+
+/// The cost of a cover.
+pub fn cost(f: &Cover) -> Cost {
+    Cost {
+        cubes: f.len(),
+        literals: f.num_literals(),
+    }
+}
+
+/// Minimizes `on` against the don't-care set `dc`.
+///
+/// The result `R` satisfies `on ⊆ R ⊆ on ∪ dc`, checked by
+/// [`verify_minimized`] in debug builds.
+pub fn minimize(on: &Cover, dc: &Cover) -> Cover {
+    assert_eq!(on.num_vars(), dc.num_vars());
+    let num_vars = on.num_vars();
+    if on.is_empty() {
+        return Cover::empty(num_vars);
+    }
+    let care_union = on.or(dc);
+    let off = complement(&care_union);
+    if off.is_empty() {
+        return Cover::one(num_vars);
+    }
+
+    let mut f = on.clone();
+    f.weed();
+    expand(&mut f, &off);
+    irredundant(&mut f, dc);
+    let mut best = f.clone();
+    let mut best_cost = cost(&best);
+    for _round in 0..8 {
+        reduce(&mut f, dc);
+        expand(&mut f, &off);
+        irredundant(&mut f, dc);
+        let c = cost(&f);
+        if c < best_cost {
+            best = f.clone();
+            best_cost = c;
+        } else {
+            break;
+        }
+    }
+    debug_assert!(verify_minimized(&best, on, dc), "minimize postcondition");
+    best
+}
+
+/// Checks `on ⊆ r` and `r ∩ off = ∅` (i.e. `r ⊆ on ∪ dc`).
+pub fn verify_minimized(r: &Cover, on: &Cover, dc: &Cover) -> bool {
+    cover_contains(r, on) && cover_contains(&on.or(dc), r)
+}
+
+/// EXPAND: make each cube prime by greedily raising literals while
+/// remaining disjoint from the off-set; drop cubes covered by an
+/// expanded one.
+fn expand(f: &mut Cover, off: &Cover) {
+    let num_vars = f.num_vars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Smaller cubes first: they benefit most from expansion.
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.num_literals()));
+    let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for (i, &c) in cubes.iter().enumerate() {
+        if kept.iter().any(|k| k.covers(c)) {
+            continue;
+        }
+        let mut cur = c;
+        // Literal raise order: prefer dropping literals that block the
+        // fewest off-cubes (cheap heuristic: frequency in the off-set).
+        let mut lits: Vec<usize> = cur.vars().collect();
+        lits.sort_by_key(|&v| {
+            off.cubes()
+                .iter()
+                .filter(|o| (o.pos | o.neg) & (1 << v) != 0)
+                .count()
+        });
+        for v in lits {
+            let raised = cur.with(v, None);
+            if !off.cubes().iter().any(|o| o.intersects(raised)) {
+                cur = raised;
+            }
+        }
+        // Drop the remaining unprocessed cubes covered by `cur` lazily
+        // via the `kept.covers` check at loop head; also cull the tail.
+        let _ = i;
+        kept.push(cur);
+    }
+    let mut out = Cover::from_cubes(num_vars, kept);
+    out.weed();
+    *f = out;
+}
+
+/// IRREDUNDANT: greedily remove cubes covered by the rest of the cover
+/// plus the don't-care set.
+fn irredundant(f: &mut Cover, dc: &Cover) {
+    let num_vars = f.num_vars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    // Try to remove large cubes last (keep the broad ones).
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.num_literals()));
+    let mut i = 0;
+    while i < cubes.len() {
+        let c = cubes[i];
+        let rest = Cover::from_cubes(
+            num_vars,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &x)| x),
+        )
+        .or(dc);
+        if cube_covered(&rest, c) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    *f = Cover::from_cubes(num_vars, cubes);
+}
+
+/// REDUCE: shrink each cube to the supercube of the points it alone
+/// covers (giving EXPAND a fresh direction to grow).
+fn reduce(f: &mut Cover, dc: &Cover) {
+    let num_vars = f.num_vars();
+    let mut cubes: Vec<Cube> = f.cubes().to_vec();
+    cubes.sort_by_key(|c| c.num_literals());
+    for i in 0..cubes.len() {
+        let c = cubes[i];
+        let rest = Cover::from_cubes(
+            num_vars,
+            cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &x)| x),
+        )
+        .or(dc);
+        // Points of c not covered by rest: c ∩ complement(rest|c).
+        let unique_part = complement(&rest.cofactor_cube(c));
+        if unique_part.is_empty() {
+            // Fully redundant; leave for irredundant to drop.
+            continue;
+        }
+        let mut sc = unique_part.cubes()[0];
+        for &u in &unique_part.cubes()[1..] {
+            sc = sc.supercube(u);
+        }
+        cubes[i] = c.intersect(sc);
+    }
+    *f = Cover::from_cubes(num_vars, cubes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tautology::cover_equal;
+
+    fn lit(v: usize, p: bool) -> Cube {
+        Cube::literal(v, p)
+    }
+
+    #[test]
+    fn minimizes_adjacent_minterms() {
+        // f = m(0,1) over 2 vars = a' (var0 is LSB).
+        let on = Cover::from_minterms(2, &[0b00, 0b10]);
+        let dc = Cover::empty(2);
+        let r = minimize(&on, &dc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cubes()[0], lit(0, false));
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // on = m(1), dc = m(3) over 2 vars -> var0 alone.
+        let on = Cover::from_minterms(2, &[0b01]);
+        let dc = Cover::from_minterms(2, &[0b11]);
+        let r = minimize(&on, &dc);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cubes()[0], lit(0, true));
+        assert!(verify_minimized(&r, &on, &dc));
+    }
+
+    #[test]
+    fn full_cover_collapses_to_one() {
+        let on = Cover::from_minterms(3, &(0..8).collect::<Vec<u64>>());
+        let r = minimize(&on, &Cover::empty(3));
+        assert_eq!(r.len(), 1);
+        assert!(r.cubes()[0].is_top());
+    }
+
+    #[test]
+    fn xor_stays_two_cubes() {
+        let on = Cover::from_minterms(2, &[0b01, 0b10]);
+        let r = minimize(&on, &Cover::empty(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.num_literals(), 4);
+        assert!(cover_equal(&r, &on));
+    }
+
+    #[test]
+    fn classic_espresso_example() {
+        // f(a,b,c,d) = Σm(0,1,2,5,6,7,8,9,10,14), var0 = a (LSB).
+        // Known minimal: 4 cubes (one of several optima).
+        let on = Cover::from_minterms(4, &[0, 1, 2, 5, 6, 7, 8, 9, 10, 14]);
+        let r = minimize(&on, &Cover::empty(4));
+        assert!(verify_minimized(&r, &on, &Cover::empty(4)));
+        assert!(cover_equal(&r, &on));
+        assert!(r.len() <= 5, "got {} cubes: {r}", r.len());
+    }
+
+    #[test]
+    fn random_functions_roundtrip() {
+        // Deterministic pseudo-random functions; result must equal input
+        // exactly when dc is empty.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        for trial in 0..25 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let nv = 3 + (trial % 3);
+            let mut on_codes = Vec::new();
+            for m in 0..(1u64 << nv) {
+                if (seed >> (m % 61)) & 1 == 1 {
+                    on_codes.push(m);
+                }
+            }
+            let on = Cover::from_minterms(nv as usize, &on_codes);
+            let r = minimize(&on, &Cover::empty(nv as usize));
+            assert!(
+                cover_equal(&r, &on),
+                "trial {trial}: {on} != {r} (nv={nv})"
+            );
+            assert!(cost(&r) <= cost(&on));
+        }
+    }
+}

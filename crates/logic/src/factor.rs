@@ -1,0 +1,273 @@
+//! Boolean expression trees and algebraic factoring.
+//!
+//! Technology mapping decomposes each next-state function into 2-input
+//! gates; factoring first (dividing out the most frequent literal)
+//! shrinks the resulting tree, matching how the paper's flow decomposes
+//! complex gates before mapping.
+
+use std::fmt;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// A Boolean expression over variables identified by index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// A literal: variable index and phase (`true` = positive).
+    Lit(usize, bool),
+    /// Conjunction of subexpressions (flattened, at least 2 entries).
+    And(Vec<Expr>),
+    /// Disjunction of subexpressions (flattened, at least 2 entries).
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Builds a conjunction, flattening and simplifying trivial cases.
+    pub fn and(parts: Vec<Expr>) -> Expr {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Expr::Const(true) => {}
+                Expr::Const(false) => return Expr::Const(false),
+                Expr::And(xs) => flat.extend(xs),
+                x => flat.push(x),
+            }
+        }
+        match flat.len() {
+            0 => Expr::Const(true),
+            1 => flat.pop().unwrap(),
+            _ => Expr::And(flat),
+        }
+    }
+
+    /// Builds a disjunction, flattening and simplifying trivial cases.
+    pub fn or(parts: Vec<Expr>) -> Expr {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Expr::Const(false) => {}
+                Expr::Const(true) => return Expr::Const(true),
+                Expr::Or(xs) => flat.extend(xs),
+                x => flat.push(x),
+            }
+        }
+        match flat.len() {
+            0 => Expr::Const(false),
+            1 => flat.pop().unwrap(),
+            _ => Expr::Or(flat),
+        }
+    }
+
+    /// Number of literal leaves.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit(..) => 1,
+            Expr::And(xs) | Expr::Or(xs) => xs.iter().map(Expr::literal_count).sum(),
+        }
+    }
+
+    /// Evaluates under the assignment `code` (bit i = variable i).
+    pub fn eval(&self, code: u64) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit(v, phase) => ((code >> v) & 1 == 1) == *phase,
+            Expr::And(xs) => xs.iter().all(|x| x.eval(code)),
+            Expr::Or(xs) => xs.iter().any(|x| x.eval(code)),
+        }
+    }
+
+    /// Renders with variable names.
+    pub fn render_named(&self, names: &[String]) -> String {
+        match self {
+            Expr::Const(b) => if *b { "1" } else { "0" }.to_string(),
+            Expr::Lit(v, phase) => {
+                let n = names.get(*v).cloned().unwrap_or_else(|| format!("x{v}"));
+                if *phase {
+                    n
+                } else {
+                    format!("{n}'")
+                }
+            }
+            Expr::And(xs) => xs
+                .iter()
+                .map(|x| match x {
+                    Expr::Or(_) => format!("({})", x.render_named(names)),
+                    _ => x.render_named(names),
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+            Expr::Or(xs) => xs
+                .iter()
+                .map(|x| x.render_named(names))
+                .collect::<Vec<_>>()
+                .join(" + "),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..64).map(|i| format!("x{i}")).collect();
+        write!(f, "{}", self.render_named(&names))
+    }
+}
+
+/// The flat sum-of-products expression of a cover.
+pub fn sop_expr(f: &Cover) -> Expr {
+    let terms: Vec<Expr> = f.cubes().iter().map(|&c| cube_expr(c)).collect();
+    Expr::or(terms)
+}
+
+fn cube_expr(c: Cube) -> Expr {
+    if c.is_top() {
+        return Expr::Const(true);
+    }
+    let lits: Vec<Expr> = c
+        .vars()
+        .map(|v| Expr::Lit(v, c.get(v) == Some(true)))
+        .collect();
+    Expr::and(lits)
+}
+
+/// Quick algebraic factoring: repeatedly divide by the literal occurring
+/// in the most cubes. `F = l·(F/l) + r` — recursing on quotient and
+/// remainder. Falls back to flat SOP when no literal repeats.
+pub fn factor(f: &Cover) -> Expr {
+    let cubes = f.cubes().to_vec();
+    factor_cubes(&cubes)
+}
+
+fn factor_cubes(cubes: &[Cube]) -> Expr {
+    if cubes.is_empty() {
+        return Expr::Const(false);
+    }
+    if cubes.len() == 1 {
+        return cube_expr(cubes[0]);
+    }
+    // Count literal occurrences.
+    let mut best: Option<(usize, bool, usize)> = None; // (var, phase, count)
+    for phase in [true, false] {
+        for v in 0..crate::cube::MAX_VARS {
+            let count = cubes
+                .iter()
+                .filter(|c| c.get(v) == Some(phase))
+                .count();
+            if count >= 2 && best.map(|(_, _, bc)| count > bc).unwrap_or(true) {
+                best = Some((v, phase, count));
+            }
+        }
+    }
+    let Some((v, phase, _)) = best else {
+        // No sharing: flat SOP.
+        return Expr::or(cubes.iter().map(|&c| cube_expr(c)).collect());
+    };
+    let quotient: Vec<Cube> = cubes
+        .iter()
+        .filter(|c| c.get(v) == Some(phase))
+        .map(|c| c.with(v, None))
+        .collect();
+    let remainder: Vec<Cube> = cubes
+        .iter()
+        .filter(|c| c.get(v) != Some(phase))
+        .copied()
+        .collect();
+    let q = Expr::and(vec![Expr::Lit(v, phase), factor_cubes(&quotient)]);
+    if remainder.is_empty() {
+        q
+    } else {
+        Expr::or(vec![q, factor_cubes(&remainder)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, p: bool) -> Cube {
+        Cube::literal(v, p)
+    }
+
+    #[test]
+    fn sop_and_eval_agree_with_cover() {
+        let f = Cover::from_cubes(
+            3,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, false).intersect(lit(2, true)),
+            ],
+        );
+        let e = sop_expr(&f);
+        for code in 0..8u64 {
+            assert_eq!(e.eval(code), f.covers_point(code), "code {code:b}");
+        }
+    }
+
+    #[test]
+    fn factoring_preserves_function() {
+        let f = Cover::from_cubes(
+            4,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, true).intersect(lit(2, true)),
+                lit(0, true).intersect(lit(3, false)),
+                lit(1, false).intersect(lit(2, false)),
+            ],
+        );
+        let e = factor(&f);
+        for code in 0..16u64 {
+            assert_eq!(e.eval(code), f.covers_point(code), "code {code:b}");
+        }
+        // ab + ac + ad' factors to a(b + c + d'), saving literals.
+        assert!(e.literal_count() < sop_expr(&f).literal_count());
+    }
+
+    #[test]
+    fn factoring_shares_most_common_literal() {
+        // ab + ac -> a(b + c): 3 literals instead of 4.
+        let f = Cover::from_cubes(
+            3,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, true).intersect(lit(2, true)),
+            ],
+        );
+        let e = factor(&f);
+        assert_eq!(e.literal_count(), 3);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(sop_expr(&Cover::empty(2)), Expr::Const(false));
+        assert_eq!(sop_expr(&Cover::one(2)), Expr::Const(true));
+        assert_eq!(factor(&Cover::empty(2)), Expr::Const(false));
+        let e = factor(&Cover::one(2));
+        assert!(e.eval(0) && e.eval(3));
+    }
+
+    #[test]
+    fn rendering() {
+        let f = Cover::from_cubes(2, [lit(0, true).intersect(lit(1, false))]);
+        let names: Vec<String> = ["req", "ack"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(sop_expr(&f).render_named(&names), "req ack'");
+    }
+
+    #[test]
+    fn builders_simplify() {
+        assert_eq!(
+            Expr::and(vec![Expr::Const(true), Expr::Lit(0, true)]),
+            Expr::Lit(0, true)
+        );
+        assert_eq!(
+            Expr::and(vec![Expr::Const(false), Expr::Lit(0, true)]),
+            Expr::Const(false)
+        );
+        assert_eq!(
+            Expr::or(vec![Expr::Const(false), Expr::Lit(1, false)]),
+            Expr::Lit(1, false)
+        );
+        assert_eq!(Expr::or(vec![]), Expr::Const(false));
+    }
+}

@@ -1,0 +1,50 @@
+//! Two-level logic for asynchronous circuit synthesis.
+//!
+//! The DAC 1999 flow estimates and synthesizes the next-state logic of
+//! every output signal. No suitable logic-minimization crate exists, so
+//! this crate implements the substrate from scratch:
+//!
+//! * [`Cube`]/[`Cover`] — product terms and sums of products over ≤ 64
+//!   variables, with the usual cube algebra;
+//! * [`tautology`] — tautology/containment via unate reduction and
+//!   Shannon splitting;
+//! * [`complement`] — cover complementation;
+//! * [`minimize`] — heuristic espresso-style minimization
+//!   (EXPAND/IRREDUNDANT/REDUCE loop);
+//! * [`exact_minimize`] — Quine–McCluskey + branch-and-bound covering,
+//!   for exact literal counts on paper-sized functions;
+//! * [`factor`]/[`Expr`] — algebraic factoring feeding technology
+//!   mapping;
+//! * [`Bdd`] — a small ROBDD package for equivalence checking.
+//!
+//! # Example
+//!
+//! ```
+//! use reshuffle_logic::{Cover, minimize};
+//!
+//! // f = Σm(1,3) over 2 variables minimizes to the single literal x0.
+//! let on = Cover::from_minterms(2, &[0b01, 0b11]);
+//! let dc = Cover::empty(2);
+//! let f = minimize(&on, &dc);
+//! assert_eq!(f.len(), 1);
+//! assert_eq!(f.num_literals(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bdd;
+mod complement;
+mod cover;
+mod cube;
+mod espresso;
+mod factor;
+mod qm;
+pub mod tautology;
+
+pub use bdd::Bdd;
+pub use complement::{complement, complement_cube};
+pub use cover::Cover;
+pub use cube::{mask, Cube, MAX_VARS};
+pub use espresso::{cost, minimize, verify_minimized, Cost};
+pub use factor::{factor, sop_expr, Expr};
+pub use qm::{exact_minimize, prime_implicants};

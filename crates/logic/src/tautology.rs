@@ -1,0 +1,192 @@
+//! Tautology checking by unate reduction and Shannon splitting — the
+//! workhorse behind containment and redundancy tests.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// True if the cover evaluates to 1 for every assignment.
+pub fn is_tautology(f: &Cover) -> bool {
+    taut_rec(f.clone())
+}
+
+fn taut_rec(mut f: Cover) -> bool {
+    // Quick outs.
+    if f.cubes().iter().any(|c| c.is_top()) {
+        return true;
+    }
+    if f.is_empty() {
+        return false;
+    }
+    f.weed();
+    if f.cubes().iter().any(|c| c.is_top()) {
+        return true;
+    }
+
+    // Unate reduction: if some variable appears in only one phase, the
+    // cover is a tautology iff the cofactor against that phase's
+    // *absence* is — i.e. cubes with the literal can never help cover
+    // the opposite half, so drop them and recurse on the rest.
+    let mut pos_mask = 0u64;
+    let mut neg_mask = 0u64;
+    for c in f.cubes() {
+        pos_mask |= c.pos;
+        neg_mask |= c.neg;
+    }
+    let unate = (pos_mask ^ neg_mask) & (pos_mask | neg_mask);
+    if unate != 0 {
+        let var = unate.trailing_zeros() as usize;
+        // Keep only cubes without a literal on `var`: for the cover to
+        // be a tautology it must cover the half-space where the unate
+        // literal is false, and there only literal-free cubes apply.
+        let value = neg_mask & (1 << var) != 0; // literal is negative -> check var=1 side
+        let g = f.cofactor(var, value);
+        let reduced = Cover::from_cubes(
+            f.num_vars(),
+            g.cubes()
+                .iter()
+                .copied()
+                .filter(|c| (c.pos | c.neg) & (1 << var) == 0),
+        );
+        return taut_rec(reduced);
+    }
+
+    // Binate splitting on the most frequent variable.
+    let mut counts = [0usize; 64];
+    for c in f.cubes() {
+        let used = c.pos | c.neg;
+        let mut bits = used;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            counts[i] += 1;
+            bits &= bits - 1;
+        }
+    }
+    let Some(var) = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+    else {
+        // No literals anywhere: all cubes are top (handled above) or
+        // the cover is empty.
+        return false;
+    };
+    taut_rec(f.cofactor(var, false)) && taut_rec(f.cofactor(var, true))
+}
+
+/// True if cube `c` is covered by cover `f` (`c ⊆ f`): the cofactor of
+/// `f` by `c` must be a tautology.
+pub fn cube_covered(f: &Cover, c: Cube) -> bool {
+    if c.is_empty() {
+        return true;
+    }
+    is_tautology(&f.cofactor_cube(c))
+}
+
+/// True if every cube of `g` is covered by `f` (`g ⊆ f`).
+pub fn cover_contains(f: &Cover, g: &Cover) -> bool {
+    g.cubes().iter().all(|&c| cube_covered(f, c))
+}
+
+/// True if the covers denote the same function.
+pub fn cover_equal(f: &Cover, g: &Cover) -> bool {
+    cover_contains(f, g) && cover_contains(g, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, p: bool) -> Cube {
+        Cube::literal(v, p)
+    }
+
+    #[test]
+    fn simple_tautologies() {
+        assert!(is_tautology(&Cover::one(3)));
+        assert!(!is_tautology(&Cover::empty(3)));
+        // a + a' = 1
+        let f = Cover::from_cubes(1, [lit(0, true), lit(0, false)]);
+        assert!(is_tautology(&f));
+        // a + b is not.
+        let g = Cover::from_cubes(2, [lit(0, true), lit(1, true)]);
+        assert!(!is_tautology(&g));
+    }
+
+    #[test]
+    fn three_var_tautology() {
+        // ab + a'b + b' = 1 (b + b').
+        let f = Cover::from_cubes(
+            2,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, false).intersect(lit(1, true)),
+                lit(1, false),
+            ],
+        );
+        assert!(is_tautology(&f));
+    }
+
+    #[test]
+    fn xor_cover_is_not_tautology() {
+        // a xor b = ab' + a'b.
+        let f = Cover::from_cubes(
+            2,
+            [
+                lit(0, true).intersect(lit(1, false)),
+                lit(0, false).intersect(lit(1, true)),
+            ],
+        );
+        assert!(!is_tautology(&f));
+        // Adding the other two minterms completes it.
+        let g = f.or(&Cover::from_cubes(
+            2,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, false).intersect(lit(1, false)),
+            ],
+        ));
+        assert!(is_tautology(&g));
+    }
+
+    #[test]
+    fn containment_checks() {
+        // ab ⊆ a.
+        let f = Cover::from_cubes(2, [lit(0, true)]);
+        let ab = lit(0, true).intersect(lit(1, true));
+        assert!(cube_covered(&f, ab));
+        assert!(!cube_covered(&f, lit(1, true)));
+        // Multi-cube coverage: ab + ab' covers a.
+        let g = Cover::from_cubes(
+            2,
+            [
+                lit(0, true).intersect(lit(1, true)),
+                lit(0, true).intersect(lit(1, false)),
+            ],
+        );
+        assert!(cube_covered(&g, lit(0, true)));
+        assert!(cover_equal(&f, &g));
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Random-ish covers over 4 vars: compare with minterm truth.
+        let covers = [
+            Cover::from_cubes(4, [lit(0, true), lit(1, false).intersect(lit(2, true))]),
+            Cover::from_cubes(
+                4,
+                [
+                    lit(0, true),
+                    lit(0, false).intersect(lit(1, true)),
+                    lit(1, false),
+                ],
+            ),
+            Cover::from_minterms(4, &(0..16).collect::<Vec<u64>>()),
+        ];
+        for f in &covers {
+            let truth_taut = (0..16u64).all(|m| f.covers_point(m));
+            assert_eq!(is_tautology(f), truth_taut, "{f}");
+        }
+    }
+}

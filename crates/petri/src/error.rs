@@ -1,0 +1,88 @@
+//! Error type shared by all Petri-net and STG operations.
+
+use std::fmt;
+
+use crate::ids::{PlaceId, TransitionId};
+
+/// Errors produced by net construction, simulation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PetriError {
+    /// A transition was fired while not enabled.
+    NotEnabled(TransitionId),
+    /// Firing a transition would place a second token into a place,
+    /// violating the 1-safeness assumption this library relies on.
+    UnsafePlace {
+        /// The place that would receive a second token.
+        place: PlaceId,
+        /// The transition whose firing caused the violation.
+        transition: TransitionId,
+    },
+    /// A duplicate arc was added between the same pair of nodes.
+    DuplicateArc(String),
+    /// Reachability exploration exceeded the configured state budget.
+    StateBudgetExceeded(usize),
+    /// A name was declared twice (place, transition or signal).
+    DuplicateName(String),
+    /// A referenced name is unknown.
+    UnknownName(String),
+    /// The `.g` input could not be parsed; carries line number and message.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A structural transformation was given inconsistent arguments.
+    Structural(String),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            PetriError::UnsafePlace { place, transition } => write!(
+                f,
+                "firing {transition} puts a second token into {place}: net is not 1-safe"
+            ),
+            PetriError::DuplicateArc(s) => write!(f, "duplicate arc {s}"),
+            PetriError::StateBudgetExceeded(n) => {
+                write!(f, "reachability exploration exceeded {n} states")
+            }
+            PetriError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            PetriError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            PetriError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            PetriError::Structural(m) => write!(f, "structural transformation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PetriError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, PetriError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PetriError::UnsafePlace {
+            place: PlaceId(2),
+            transition: TransitionId(4),
+        };
+        let s = e.to_string();
+        assert!(s.contains("p2"));
+        assert!(s.contains("t4"));
+        assert!(s.contains("1-safe"));
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = PetriError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Strongly typed identifiers for net elements.
+//!
+//! All identifiers are dense indices into the owning [`crate::PetriNet`]
+//! (or [`crate::Stg`]) and are only meaningful relative to the structure
+//! that produced them.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the dense index backing this identifier.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "index overflow");
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a place inside a [`crate::PetriNet`].
+    PlaceId,
+    "p"
+);
+id_type!(
+    /// Identifier of a transition inside a [`crate::PetriNet`].
+    TransitionId,
+    "t"
+);
+id_type!(
+    /// Identifier of a signal inside an [`crate::Stg`].
+    SignalId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let p = PlaceId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p, PlaceId(7));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(PlaceId(3).to_string(), "p3");
+        assert_eq!(TransitionId(5).to_string(), "t5");
+        assert_eq!(SignalId(0).to_string(), "s0");
+        assert_eq!(format!("{:?}", PlaceId(3)), "p3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PlaceId(1) < PlaceId(2));
+        assert!(TransitionId(0) < TransitionId(10));
+    }
+}

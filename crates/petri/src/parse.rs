@@ -1,0 +1,463 @@
+//! Reader for the astg (`.g`) format used by petrify, SIS and Workcraft.
+//!
+//! Supported directives: `.model`, `.inputs`, `.outputs`, `.internal`,
+//! `.dummy`, `.graph`, `.marking`, `.end`, plus `#` comments. Arcs
+//! between two transitions create *implicit places* named `<src,dst>`;
+//! the `.marking` section accepts both explicit place names and implicit
+//! places in angle brackets. Transition labels may carry instance
+//! suffixes (`a+/2`).
+
+use std::collections::HashMap;
+
+use crate::error::{PetriError, Result};
+use crate::ids::{PlaceId, TransitionId};
+use crate::stg::{Polarity, SignalKind, Stg};
+
+fn err(line: usize, message: impl Into<String>) -> PetriError {
+    PetriError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A parsed transition-label reference: `a+/2` → (`a`, Rise, 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LabelRef {
+    base: String,
+    polarity: Option<Polarity>,
+    instance: u32,
+}
+
+/// Splits `a+/2` style text; returns `None` if the text cannot be a
+/// transition label (no polarity suffix and not a declared dummy).
+fn parse_label_text(text: &str) -> Option<LabelRef> {
+    let (head, instance) = match text.split_once('/') {
+        Some((h, i)) => (h, i.parse::<u32>().ok()?),
+        None => (text, 1),
+    };
+    if head.is_empty() {
+        return None;
+    }
+    let last = head.chars().last().unwrap();
+    let polarity = match last {
+        '+' => Some(Polarity::Rise),
+        '-' => Some(Polarity::Fall),
+        '~' => Some(Polarity::Toggle),
+        _ => None,
+    };
+    let base = match polarity {
+        Some(_) => &head[..head.len() - last.len_utf8()],
+        None => head,
+    };
+    if base.is_empty() {
+        return None;
+    }
+    Some(LabelRef {
+        base: base.to_string(),
+        polarity,
+        instance,
+    })
+}
+
+/// Parses astg text into an [`Stg`].
+///
+/// # Errors
+///
+/// Returns [`PetriError::Parse`] with a line number for malformed input,
+/// unknown signals, duplicate declarations or a missing `.graph` section.
+pub fn parse_g(text: &str) -> Result<Stg> {
+    enum Section {
+        Header,
+        Graph,
+        Done,
+    }
+    let mut stg = Stg::new("model");
+    let mut dummies: Vec<String> = Vec::new();
+    let mut section = Section::Header;
+    // label text (normalized) -> transition id
+    let mut trans_map: HashMap<String, TransitionId> = HashMap::new();
+    // place name -> id
+    let mut place_map: HashMap<String, PlaceId> = HashMap::new();
+    let mut graph_lines: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut marking_tokens: Vec<(usize, String)> = Vec::new();
+    let mut saw_graph = false;
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before,
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let first = words.next().unwrap();
+        match first {
+            ".model" | ".name" => {
+                stg.name = words.next().unwrap_or("model").to_string();
+            }
+            ".inputs" | ".outputs" | ".internal" => {
+                let kind = match first {
+                    ".inputs" => SignalKind::Input,
+                    ".outputs" => SignalKind::Output,
+                    _ => SignalKind::Internal,
+                };
+                for w in words {
+                    stg.add_signal(w, kind)
+                        .map_err(|e| err(lineno, e.to_string()))?;
+                }
+            }
+            ".dummy" => {
+                for w in words {
+                    if dummies.iter().any(|d| d == w) {
+                        return Err(err(lineno, format!("duplicate dummy `{w}`")));
+                    }
+                    dummies.push(w.to_string());
+                }
+            }
+            ".graph" => {
+                saw_graph = true;
+                section = Section::Graph;
+            }
+            ".marking" => {
+                let rest: String = line[".marking".len()..].trim().to_string();
+                let inner = rest
+                    .strip_prefix('{')
+                    .and_then(|r| r.strip_suffix('}'))
+                    .ok_or_else(|| err(lineno, "expected `.marking { ... }`"))?;
+                // Tokenize respecting `<a+,b->` groups.
+                let mut cur = String::new();
+                let mut depth = 0usize;
+                for ch in inner.chars() {
+                    match ch {
+                        '<' => {
+                            depth += 1;
+                            cur.push(ch);
+                        }
+                        '>' => {
+                            depth = depth.saturating_sub(1);
+                            cur.push(ch);
+                        }
+                        c if c.is_whitespace() && depth == 0 => {
+                            if !cur.is_empty() {
+                                marking_tokens.push((lineno, std::mem::take(&mut cur)));
+                            }
+                        }
+                        c => cur.push(c),
+                    }
+                }
+                if !cur.is_empty() {
+                    marking_tokens.push((lineno, cur));
+                }
+            }
+            ".end" => {
+                section = Section::Done;
+            }
+            ".capacity" | ".slowenv" | ".coords" => { /* tolerated, ignored */ }
+            w if w.starts_with('.') => {
+                return Err(err(lineno, format!("unknown directive `{w}`")));
+            }
+            _ => match section {
+                Section::Graph => {
+                    let mut toks = vec![first.to_string()];
+                    toks.extend(words.map(str::to_string));
+                    graph_lines.push((lineno, toks));
+                }
+                Section::Header => {
+                    return Err(err(lineno, "node line before .graph"));
+                }
+                Section::Done => {
+                    return Err(err(lineno, "content after .end"));
+                }
+            },
+        }
+    }
+    if !saw_graph {
+        return Err(err(0, "missing .graph section"));
+    }
+
+    // Classify a token: transition (declared signal edge or dummy) vs place.
+    // First pass: create all transitions so ids are stable and instance
+    // numbering matches the file.
+    let is_transition_text = |stg: &Stg, dummies: &[String], text: &str| -> Option<LabelRef> {
+        let r = parse_label_text(text)?;
+        match r.polarity {
+            Some(_) => stg.signal_by_name(&r.base).map(|_| r),
+            None => {
+                if dummies.iter().any(|d| *d == r.base) {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+    let normalize = |text: &str| -> String {
+        match text.strip_suffix("/1") {
+            Some(h) => h.to_string(),
+            None => text.to_string(),
+        }
+    };
+
+    for (lineno, toks) in &graph_lines {
+        for tok in toks {
+            if let Some(r) = is_transition_text(&stg, &dummies, tok) {
+                let key = normalize(tok);
+                if !trans_map.contains_key(&key) {
+                    let t = match r.polarity {
+                        Some(pol) => {
+                            let s = stg.signal_by_name(&r.base).unwrap();
+                            let t = stg.add_edge_transition(s, pol);
+                            // Instance numbers in files may appear out of
+                            // order; keep file text as the display name.
+                            if stg.transition_name(t) != key {
+                                return Err(err(
+                                    *lineno,
+                                    format!(
+                                        "instance numbers for `{}` must appear in order \
+                                         (expected `{}`, found `{key}`)",
+                                        r.base,
+                                        stg.transition_name(t)
+                                    ),
+                                ));
+                            }
+                            t
+                        }
+                        None => {
+                            let name = if r.instance > 1 {
+                                format!("{}/{}", r.base, r.instance)
+                            } else {
+                                r.base.clone()
+                            };
+                            stg.add_dummy_transition(name)
+                        }
+                    };
+                    trans_map.insert(key, t);
+                }
+            }
+        }
+    }
+
+    // Second pass: build arcs. A transition -> transition arc goes through
+    // an implicit place.
+    enum Node {
+        T(TransitionId),
+        P(PlaceId),
+    }
+    let resolve = |stg: &mut Stg,
+                       place_map: &mut HashMap<String, PlaceId>,
+                       trans_map: &HashMap<String, TransitionId>,
+                       tok: &str|
+     -> Node {
+        let key = normalize(tok);
+        if let Some(&t) = trans_map.get(&key) {
+            return Node::T(t);
+        }
+        if let Some(&p) = place_map.get(&key) {
+            return Node::P(p);
+        }
+        let p = stg.add_named_place(key.clone());
+        place_map.insert(key, p);
+        Node::P(p)
+    };
+
+    for (lineno, toks) in &graph_lines {
+        if toks.len() < 2 {
+            return Err(err(*lineno, "arc line needs a source and a target"));
+        }
+        let src = resolve(&mut stg, &mut place_map, &trans_map, &toks[0]);
+        for tok in &toks[1..] {
+            let dst = resolve(&mut stg, &mut place_map, &trans_map, tok);
+            let r = match (&src, dst) {
+                (Node::T(a), Node::T(b)) => stg.connect(*a, b).map(|p| {
+                    let name = stg.net().place_name(p).to_string();
+                    place_map.insert(name, p);
+                }),
+                (Node::T(a), Node::P(p)) => stg.arc_tp(*a, p),
+                (Node::P(p), Node::T(b)) => stg.arc_pt(*p, b),
+                (Node::P(_), Node::P(_)) => Err(err(
+                    *lineno,
+                    format!("arc between two places `{}` and `{tok}`", toks[0]),
+                )),
+            };
+            r.map_err(|e| match e {
+                PetriError::Parse { .. } => e,
+                other => err(*lineno, other.to_string()),
+            })?;
+        }
+    }
+
+    // Marking.
+    let mut marked: Vec<PlaceId> = Vec::new();
+    for (lineno, tok) in &marking_tokens {
+        let p = if let Some(inner) = tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+            let (a, b) = inner
+                .split_once(',')
+                .ok_or_else(|| err(*lineno, format!("bad implicit place `{tok}`")))?;
+            let a = trans_map
+                .get(&normalize(a.trim()))
+                .ok_or_else(|| err(*lineno, format!("unknown transition `{a}`")))?;
+            let b = trans_map
+                .get(&normalize(b.trim()))
+                .ok_or_else(|| err(*lineno, format!("unknown transition `{b}`")))?;
+            let name = format!(
+                "<{},{}>",
+                stg.transition_name(*a),
+                stg.transition_name(*b)
+            );
+            *place_map
+                .get(&name)
+                .ok_or_else(|| err(*lineno, format!("no implicit place `{name}`")))?
+        } else {
+            *place_map
+                .get(tok.as_str())
+                .ok_or_else(|| err(*lineno, format!("unknown place `{tok}`")))?
+        };
+        if !marked.contains(&p) {
+            marked.push(p);
+        }
+    }
+    stg.set_initial_places(&marked);
+    stg.validate()?;
+    Ok(stg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+# Fig. 1(c) of the DAC'99 paper
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn parses_fig1() {
+        let g = parse_g(FIG1).unwrap();
+        assert_eq!(g.name, "fig1");
+        assert_eq!(g.num_signals(), 2);
+        assert_eq!(g.net().num_transitions(), 4);
+        // 5 implicit places.
+        assert_eq!(g.net().num_places(), 5);
+        assert_eq!(g.initial_marking().count(), 2);
+        let ackp = g.transition_by_label("Ack+").unwrap();
+        assert!(g.initial_marking().enables(g.net(), ackp));
+    }
+
+    #[test]
+    fn explicit_places_and_instances() {
+        let src = "\
+.model m
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ p1
+p1 a-
+a- b-
+b- p0
+p0 b+/2
+b+/2 p1
+.marking { p0 }
+.end
+";
+        let g = parse_g(src).unwrap();
+        assert!(g.transition_by_label("b+/2").is_some());
+        assert_eq!(g.net().place_by_name("p0").map(|p| p.index()).is_some(), true);
+        let b = g.signal_by_name("b").unwrap();
+        assert_eq!(g.transitions_of_signal(b).len(), 3);
+    }
+
+    #[test]
+    fn dummy_transitions_parse() {
+        let src = "\
+.model m
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let g = parse_g(src).unwrap();
+        let d = g.transition_by_label("eps").unwrap();
+        assert!(g.edge_of(d).is_none());
+    }
+
+    #[test]
+    fn unknown_signal_is_a_place() {
+        // `c+` with undeclared `c` is treated as a place name; an arc
+        // from place to place is then an error.
+        let src = "\
+.model m
+.inputs a
+.graph
+c+ d+
+.marking { }
+.end
+";
+        let e = parse_g(src).unwrap_err();
+        assert!(matches!(e, PetriError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn marking_with_unknown_place_fails() {
+        let src = "\
+.model m
+.inputs a
+.graph
+a+ a-
+a- a+
+.marking { nowhere }
+.end
+";
+        assert!(parse_g(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let src = "
+# leading comment
+
+.model m
+.inputs a   # trailing comment
+.graph
+a+ a-   # arc
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let g = parse_g(src).unwrap();
+        assert_eq!(g.net().num_transitions(), 2);
+    }
+
+    #[test]
+    fn label_text_parsing() {
+        let r = parse_label_text("a+/2").unwrap();
+        assert_eq!(r.base, "a");
+        assert_eq!(r.polarity, Some(Polarity::Rise));
+        assert_eq!(r.instance, 2);
+        let r = parse_label_text("req-").unwrap();
+        assert_eq!(r.polarity, Some(Polarity::Fall));
+        let r = parse_label_text("x~").unwrap();
+        assert_eq!(r.polarity, Some(Polarity::Toggle));
+        let r = parse_label_text("plain").unwrap();
+        assert_eq!(r.polarity, None);
+        assert!(parse_label_text("+").is_none());
+        assert!(parse_label_text("").is_none());
+    }
+}

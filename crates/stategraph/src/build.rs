@@ -1,0 +1,480 @@
+//! Building a [`StateGraph`] from an [`Stg`]: reachability exploration
+//! plus binary encoding.
+//!
+//! The construction explores *(marking, code)* pairs: firing `a+` sets
+//! bit `a` (and is a consistency violation if already set), `a-` clears
+//! it, `a~` toggles it, dummies leave the code unchanged. For rise/fall
+//! signals the initial value is inferred first by constraint propagation
+//! over the plain marking graph (explicit `.g` files rarely declare
+//! initial values); toggle signals default to the STG's declared initial
+//! value or 0.
+//!
+//! For STGs without toggle edges a marking must encode to a unique code;
+//! reaching one marking with two codes is reported as an inconsistency
+//! (petrify's semantics). With toggle edges (2-phase specifications) the
+//! `(marking, parity)` unfolding is the intended behaviour.
+
+use std::collections::{HashMap, VecDeque};
+
+use reshuffle_petri::{Marking, Polarity, ReachabilityGraph, SignalId, Stg};
+
+use crate::error::{Result, SgError};
+use crate::sg::{EventId, EventInfo, State, StateGraph};
+
+/// Options for state-graph construction.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Cap on the number of explored states.
+    pub state_budget: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            state_budget: reshuffle_petri::DEFAULT_STATE_BUDGET,
+        }
+    }
+}
+
+/// Builds the state graph of `stg` with default options.
+///
+/// # Errors
+///
+/// See [`build_state_graph_with`].
+pub fn build_state_graph(stg: &Stg) -> Result<StateGraph> {
+    build_state_graph_with(stg, &BuildOptions::default())
+}
+
+/// Infers the initial value of every signal.
+///
+/// Rise/fall signals: constraint propagation over the marking graph
+/// (`a+` fixes 0 at its source marking and 1 at its target). Toggle or
+/// constant signals: the explicit initial value, or 0.
+fn infer_initial_values(stg: &Stg, rg: &ReachabilityGraph) -> Result<Vec<bool>> {
+    let n = rg.len();
+    let num_signals = stg.num_signals();
+    // Which signals need inference: rise/fall edges, no explicit value.
+    let mut needs = vec![false; num_signals];
+    for t in stg.transitions() {
+        if let Some(e) = stg.edge_of(t) {
+            if matches!(e.polarity, Polarity::Rise | Polarity::Fall)
+                && stg.initial_value(e.signal).is_none()
+            {
+                needs[e.signal.index()] = true;
+            }
+        }
+    }
+    let mut initial = vec![false; num_signals];
+    for s in stg.signals() {
+        if let Some(v) = stg.initial_value(s) {
+            initial[s.index()] = v;
+        }
+    }
+    if !needs.iter().any(|&b| b) {
+        return Ok(initial);
+    }
+
+    // values[marking][signal]
+    let mut values: Vec<Vec<Option<bool>>> = vec![vec![None; num_signals]; n];
+    let assign = |values: &mut Vec<Vec<Option<bool>>>,
+                  m: usize,
+                  sig: SignalId,
+                  v: bool|
+     -> std::result::Result<bool, SgError> {
+        match values[m][sig.index()] {
+            None => {
+                values[m][sig.index()] = Some(v);
+                Ok(true)
+            }
+            Some(old) if old == v => Ok(false),
+            Some(old) => Err(SgError::Inconsistent {
+                signal: stg.signal(sig).name.clone(),
+                witness: format!(
+                    "marking #{m} requires {} = {} and {}",
+                    stg.signal(sig).name,
+                    old as u8,
+                    v as u8
+                ),
+            }),
+        }
+    };
+
+    // Seed with rise/fall endpoint constraints.
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut in_queue = vec![false; n];
+    let push = |queue: &mut VecDeque<usize>, in_queue: &mut Vec<bool>, m: usize| {
+        if !in_queue[m] {
+            in_queue[m] = true;
+            queue.push_back(m);
+        }
+    };
+    for m in 0..n {
+        for &(t, tgt) in rg.successors(m as u32) {
+            if let Some(edge) = stg.edge_of(t) {
+                if !needs[edge.signal.index()] {
+                    continue;
+                }
+                let (pre, post) = match edge.polarity {
+                    Polarity::Rise => (false, true),
+                    Polarity::Fall => (true, false),
+                    Polarity::Toggle => continue,
+                };
+                if assign(&mut values, m, edge.signal, pre)? {
+                    push(&mut queue, &mut in_queue, m);
+                }
+                if assign(&mut values, tgt as usize, edge.signal, post)? {
+                    push(&mut queue, &mut in_queue, tgt as usize);
+                }
+            }
+        }
+    }
+
+    // Propagate equalities: along any arc not switching the signal, the
+    // value is preserved (in both directions).
+    let pred = {
+        let mut p: Vec<Vec<(usize, reshuffle_petri::TransitionId)>> = vec![Vec::new(); n];
+        for m in 0..n {
+            for &(t, tgt) in rg.successors(m as u32) {
+                p[tgt as usize].push((m, t));
+            }
+        }
+        p
+    };
+    while let Some(m) = queue.pop_front() {
+        in_queue[m] = false;
+        let snapshot = values[m].clone();
+        for &(t, tgt) in rg.successors(m as u32) {
+            let switched = stg.edge_of(t).map(|e| e.signal);
+            for (i, v) in snapshot.iter().enumerate() {
+                let (Some(v), sig) = (*v, SignalId::from_index(i)) else {
+                    continue;
+                };
+                if !needs[i] || switched == Some(sig) {
+                    continue;
+                }
+                if assign(&mut values, tgt as usize, sig, v)? {
+                    push(&mut queue, &mut in_queue, tgt as usize);
+                }
+            }
+        }
+        for &(src, t) in &pred[m] {
+            let switched = stg.edge_of(t).map(|e| e.signal);
+            for (i, v) in snapshot.iter().enumerate() {
+                let (Some(v), sig) = (*v, SignalId::from_index(i)) else {
+                    continue;
+                };
+                if !needs[i] || switched == Some(sig) {
+                    continue;
+                }
+                if assign(&mut values, src, sig, v)? {
+                    push(&mut queue, &mut in_queue, src);
+                }
+            }
+        }
+    }
+
+    for (i, need) in needs.iter().enumerate() {
+        if *need {
+            // Default an unconstrained signal (can happen when the
+            // marking graph never switches it) to 0.
+            initial[i] = values[0][i].unwrap_or(false);
+        }
+    }
+    Ok(initial)
+}
+
+/// Builds the state graph of `stg`.
+///
+/// # Errors
+///
+/// * [`SgError::Petri`] if the net is unsafe, has source transitions or
+///   exceeds the state budget;
+/// * [`SgError::TooManySignals`] for more than 64 signals;
+/// * [`SgError::Inconsistent`] if no consistent binary encoding exists.
+pub fn build_state_graph_with(stg: &Stg, opts: &BuildOptions) -> Result<StateGraph> {
+    stg.validate()?;
+    if stg.num_signals() > 64 {
+        return Err(SgError::TooManySignals(stg.num_signals()));
+    }
+    let rg = ReachabilityGraph::explore(stg.net(), &stg.initial_marking(), opts.state_budget)?;
+    let initial_values = infer_initial_values(stg, &rg)?;
+    let mut code0 = 0u64;
+    for (i, &v) in initial_values.iter().enumerate() {
+        if v {
+            code0 |= 1 << i;
+        }
+    }
+    let has_toggle = stg
+        .transitions()
+        .any(|t| matches!(stg.edge_of(t).map(|e| e.polarity), Some(Polarity::Toggle)));
+
+    // Explore (marking-node, code) pairs. Markings are referenced by
+    // their node id in the already-explored reachability graph.
+    let mut index: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut nodes: Vec<(u32, u64)> = vec![(0, code0)];
+    let mut succ: Vec<Vec<(EventId, u32)>> = vec![Vec::new()];
+    index.insert((0, code0), 0);
+    let mut work = vec![0u32];
+    while let Some(s) = work.pop() {
+        let (mnode, code) = nodes[s as usize];
+        for &(t, mtgt) in rg.successors(mnode) {
+            let next_code = match stg.edge_of(t) {
+                None => code,
+                Some(edge) => {
+                    let bit = 1u64 << edge.signal.index();
+                    let cur = code & bit != 0;
+                    let ok = match edge.polarity {
+                        Polarity::Rise => !cur,
+                        Polarity::Fall => cur,
+                        Polarity::Toggle => true,
+                    };
+                    if !ok {
+                        return Err(SgError::Inconsistent {
+                            signal: stg.signal(edge.signal).name.clone(),
+                            witness: format!(
+                                "firing {} while {} is already {}",
+                                stg.transition_name(t),
+                                stg.signal(edge.signal).name,
+                                cur as u8
+                            ),
+                        });
+                    }
+                    match edge.polarity {
+                        Polarity::Rise => code | bit,
+                        Polarity::Fall => code & !bit,
+                        Polarity::Toggle => code ^ bit,
+                    }
+                }
+            };
+            let key = (mtgt, next_code);
+            let id = match index.get(&key) {
+                Some(&id) => id,
+                None => {
+                    if nodes.len() >= opts.state_budget {
+                        return Err(SgError::Petri(
+                            reshuffle_petri::PetriError::StateBudgetExceeded(opts.state_budget),
+                        ));
+                    }
+                    let id = nodes.len() as u32;
+                    nodes.push(key);
+                    succ.push(Vec::new());
+                    index.insert(key, id);
+                    work.push(id);
+                    id
+                }
+            };
+            succ[s as usize].push((EventId(t.0), id));
+        }
+    }
+
+    // Without toggles, a marking reached under two codes is inconsistent.
+    if !has_toggle {
+        let mut seen: HashMap<u32, u64> = HashMap::new();
+        for &(mnode, code) in &nodes {
+            if let Some(&other) = seen.get(&mnode) {
+                if other != code {
+                    let diff = other ^ code;
+                    let sig = SignalId::from_index(diff.trailing_zeros() as usize);
+                    return Err(SgError::Inconsistent {
+                        signal: stg.signal(sig).name.clone(),
+                        witness: format!(
+                            "marking {} is reachable with codes {code:b} and {other:b}",
+                            rg.marking(mnode).display(stg.net())
+                        ),
+                    });
+                }
+            } else {
+                seen.insert(mnode, code);
+            }
+        }
+    }
+
+    // Assemble.
+    let events: Vec<EventInfo> = stg
+        .transitions()
+        .map(|t| EventInfo {
+            label: stg.transition_name(t).to_string(),
+            edge: stg.edge_of(t),
+        })
+        .collect();
+    let states: Vec<State> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &(mnode, code))| State {
+            code,
+            succ: succ[i].clone(),
+            marking: Some(rg.marking(mnode).clone()),
+        })
+        .collect();
+    let signals = (0..stg.num_signals())
+        .map(|i| stg.signal(SignalId::from_index(i)).clone())
+        .collect();
+    StateGraph::from_parts(stg.name.clone(), signals, events, states, 0)
+}
+
+/// The markings of a built state graph, in state order (present when the
+/// graph came from an STG).
+pub fn state_markings(sg: &StateGraph) -> Vec<Option<Marking>> {
+    sg.state_ids()
+        .map(|s| sg.state(s).marking.clone())
+        .collect()
+}
+
+/// Re-derives event labels of an [`Stg`] for a state graph built from it
+/// (convenience used by tests and reports).
+pub fn event_label_map(stg: &Stg) -> Vec<String> {
+    stg.transitions()
+        .map(|t| stg.transition_name(t).to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::{parse_g, SignalKind};
+
+    const FIG1: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn fig1_has_five_states() {
+        let stg = parse_g(FIG1).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        assert_eq!(sg.num_states(), 5);
+        // Initial state of Fig. 1(d) is 0*1 (Ack excited low, Req high).
+        let init = sg.initial();
+        let ack = sg.signal_by_name("Ack").unwrap();
+        let req = sg.signal_by_name("Req").unwrap();
+        assert!(!sg.value(init, ack));
+        assert!(sg.value(init, req));
+        let rendered = sg.render_state(init);
+        assert!(rendered.contains('*'), "{rendered}");
+    }
+
+    #[test]
+    fn inconsistent_stg_rejected() {
+        // a+ followed by a+ without a- in between.
+        let src = "\
+.model bad
+.inputs a
+.graph
+a+ a+/2
+a+/2 a+
+.marking { <a+/2,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let e = build_state_graph(&stg).unwrap_err();
+        assert!(matches!(e, SgError::Inconsistent { .. }), "{e}");
+    }
+
+    #[test]
+    fn toggle_signals_unfold_parity() {
+        // A 2-phase cycle: the marking graph has 2 markings but the
+        // state graph unfolds to 4 states tracking signal parity.
+        let src = "\
+.model t2
+.inputs a
+.outputs b
+.graph
+a~ b~
+b~ a~
+.marking { <b~,a~> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        assert_eq!(sg.num_states(), 4);
+        let a = sg.signal_by_name("a").unwrap();
+        assert!(!sg.value(0, a));
+        let e = sg.event_by_label("a~").unwrap();
+        let s1 = sg.step(0, e).unwrap();
+        assert!(sg.value(s1, a));
+        // Two toggles of a bring it back.
+        let eb = sg.event_by_label("b~").unwrap();
+        let s2 = sg.step(s1, eb).unwrap();
+        let s3 = sg.step(s2, e).unwrap();
+        assert!(!sg.value(s3, a));
+    }
+
+    #[test]
+    fn explicit_initial_value_respected() {
+        let src = "\
+.model t2
+.inputs a
+.outputs b
+.graph
+a~ b~
+b~ a~
+.marking { <b~,a~> }
+.end
+";
+        let mut stg = parse_g(src).unwrap();
+        let a = stg.signal_by_name("a").unwrap();
+        stg.set_initial_value(a, true);
+        let sg = build_state_graph(&stg).unwrap();
+        assert!(sg.value(0, a));
+    }
+
+    #[test]
+    fn constant_signal_defaults() {
+        let mut stg = reshuffle_petri::Stg::new("c");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let _unused = stg.add_signal("quiet", SignalKind::Output).unwrap();
+        let t1 = stg.add_edge_transition(a, reshuffle_petri::Polarity::Rise);
+        let t2 = stg.add_edge_transition(a, reshuffle_petri::Polarity::Fall);
+        stg.connect(t1, t2).unwrap();
+        let p = stg.connect(t2, t1).unwrap();
+        stg.set_initial_places(&[p]);
+        let sg = build_state_graph(&stg).unwrap();
+        let q = sg.signal_by_name("quiet").unwrap();
+        for s in sg.state_ids() {
+            assert!(!sg.value(s, q));
+        }
+    }
+
+    #[test]
+    fn codes_differ_by_one_bit_along_arcs() {
+        let stg = parse_g(FIG1).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        for s in sg.state_ids() {
+            for &(e, t) in sg.succ(s) {
+                let diff = sg.code(s) ^ sg.code(t);
+                if sg.event(e).edge.is_some() {
+                    assert_eq!(diff.count_ones(), 1);
+                } else {
+                    assert_eq!(diff, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let stg = parse_g(FIG1).unwrap();
+        let e = build_state_graph_with(&stg, &BuildOptions { state_budget: 2 }).unwrap_err();
+        assert!(matches!(e, SgError::Petri(_)));
+    }
+
+    #[test]
+    fn initial_value_inference_fig1() {
+        // Req must be inferred high: Req- fires before any Req+.
+        let stg = parse_g(FIG1).unwrap();
+        let rg = ReachabilityGraph::explore_default(stg.net(), &stg.initial_marking()).unwrap();
+        let vals = infer_initial_values(&stg, &rg).unwrap();
+        let req = stg.signal_by_name("Req").unwrap();
+        let ack = stg.signal_by_name("Ack").unwrap();
+        assert!(vals[req.index()]);
+        assert!(!vals[ack.index()]);
+    }
+}

@@ -1,0 +1,144 @@
+//! The concurrency relation between events (Definition 2.1).
+//!
+//! Two edges `a`, `b` are concurrent iff the SG contains a diamond
+//! `s1 -a-> s2`, `s1 -b-> s3`, `s2 -b-> s4`, `s3 -a-> s4`. The reduction
+//! search enumerates concurrent pairs as candidates for `FwdRed`.
+
+use reshuffle_petri::SignalEdge;
+
+use crate::sg::{StateGraph, StateId};
+
+/// True if edges `a` and `b` are concurrent (a complete diamond exists).
+pub fn concurrent(sg: &StateGraph, a: SignalEdge, b: SignalEdge) -> bool {
+    if a == b {
+        return false;
+    }
+    sg.state_ids().any(|s| diamond_at(sg, s, a, b).is_some())
+}
+
+/// If a diamond on `a`,`b` starts at `s1`, returns its four corners
+/// `(s1, s2, s3, s4)`.
+pub fn diamond_at(
+    sg: &StateGraph,
+    s1: StateId,
+    a: SignalEdge,
+    b: SignalEdge,
+) -> Option<(StateId, StateId, StateId, StateId)> {
+    let s2 = sg.step_edge(s1, a)?;
+    let s3 = sg.step_edge(s1, b)?;
+    let s4a = sg.step_edge(s2, b)?;
+    let s4b = sg.step_edge(s3, a)?;
+    (s4a == s4b).then_some((s1, s2, s3, s4a))
+}
+
+/// All unordered concurrent pairs of distinct edges appearing in the
+/// graph, sorted deterministically.
+pub fn concurrent_pairs(sg: &StateGraph) -> Vec<(SignalEdge, SignalEdge)> {
+    let mut edges: Vec<SignalEdge> = sg
+        .events()
+        .iter()
+        .filter_map(|e| e.edge)
+        .collect();
+    edges.sort_by_key(|e| (e.signal, e.polarity));
+    edges.dedup();
+    let mut out = Vec::new();
+    for (i, &a) in edges.iter().enumerate() {
+        for &b in &edges[i + 1..] {
+            if concurrent(sg, a, b) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_state_graph;
+    use reshuffle_petri::{parse_g, Polarity};
+
+    fn edge(sg: &StateGraph, name: &str, pol: Polarity) -> SignalEdge {
+        SignalEdge {
+            signal: sg.signal_by_name(name).unwrap(),
+            polarity: pol,
+        }
+    }
+
+    const FIG1: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn fig1_req_rise_concurrent_with_ack_fall() {
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let a = edge(&sg, "Req", Polarity::Rise);
+        let b = edge(&sg, "Ack", Polarity::Fall);
+        assert!(concurrent(&sg, a, b));
+        // Sequenced events are not concurrent.
+        let c = edge(&sg, "Ack", Polarity::Rise);
+        assert!(!concurrent(&sg, a, c));
+        let pairs = concurrent_pairs(&sg);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn edge_not_concurrent_with_itself() {
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let a = edge(&sg, "Req", Polarity::Rise);
+        assert!(!concurrent(&sg, a, a));
+    }
+
+    #[test]
+    fn choice_is_not_concurrency() {
+        // Two inputs in free choice share enabled states but no diamond.
+        let src = "\
+.model choice
+.inputs a b
+.graph
+p0 a+ b+
+a+ a-
+b+ b-
+a- p0
+b- p0
+.marking { p0 }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let a = edge(&sg, "a", Polarity::Rise);
+        let b = edge(&sg, "b", Polarity::Rise);
+        assert!(!concurrent(&sg, a, b));
+        assert!(concurrent_pairs(&sg).is_empty());
+    }
+
+    #[test]
+    fn true_concurrency_detected() {
+        let src = "\
+.model conc
+.inputs a
+.outputs b
+.graph
+p0 a+
+p1 b+
+a+ a-
+b+ b-
+a- p0
+b- p1
+.marking { p0 p1 }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let pairs = concurrent_pairs(&sg);
+        // a+,a- each concurrent with b+,b-: 4 pairs.
+        assert_eq!(pairs.len(), 4);
+    }
+}

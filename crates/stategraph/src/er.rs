@@ -1,0 +1,209 @@
+//! Excitation regions (Section 2 of the paper).
+//!
+//! The *excitation set* of an edge `a` is every state enabling `a`; an
+//! *excitation region* `ER(a)` is a maximal connected subset of it
+//! (connectivity in the underlying undirected state graph). For
+//! speed-independent graphs, two output events are concurrent iff their
+//! excitation sets intersect — the hook used by `FwdRed`.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use reshuffle_petri::SignalEdge;
+
+use crate::sg::{StateGraph, StateId};
+
+/// All states enabling some event with edge `edge`.
+pub fn excitation_set(sg: &StateGraph, edge: SignalEdge) -> BTreeSet<StateId> {
+    sg.state_ids()
+        .filter(|&s| sg.enables_edge(s, edge))
+        .collect()
+}
+
+/// The excitation set partitioned into maximal connected regions.
+/// Connectivity uses arcs of the graph restricted to the set, in either
+/// direction.
+pub fn excitation_regions(sg: &StateGraph, edge: SignalEdge) -> Vec<BTreeSet<StateId>> {
+    let set = excitation_set(sg, edge);
+    let pred = sg.predecessors();
+    let mut seen: BTreeSet<StateId> = BTreeSet::new();
+    let mut regions = Vec::new();
+    for &start in &set {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut region = BTreeSet::new();
+        let mut q = VecDeque::new();
+        q.push_back(start);
+        seen.insert(start);
+        while let Some(s) = q.pop_front() {
+            region.insert(s);
+            let neighbors = sg
+                .succ(s)
+                .iter()
+                .map(|&(_, t)| t)
+                .chain(pred[s as usize].iter().map(|&(_, t)| t));
+            for t in neighbors {
+                if set.contains(&t) && seen.insert(t) {
+                    q.push_back(t);
+                }
+            }
+        }
+        regions.push(region);
+    }
+    regions
+}
+
+/// The minimal states of a region: states with no predecessor inside the
+/// region (entry points of the excitation).
+pub fn minimal_states(sg: &StateGraph, region: &BTreeSet<StateId>) -> Vec<StateId> {
+    let pred = sg.predecessors();
+    region
+        .iter()
+        .copied()
+        .filter(|&s| {
+            !pred[s as usize]
+                .iter()
+                .any(|&(_, p)| region.contains(&p))
+        })
+        .collect()
+}
+
+/// States backward-reachable from `targets` while staying inside
+/// `within` (inclusive of `targets ∩ within`). Used by `FwdRed`:
+/// `back_reach(ER(a) ∩ ER(b))` restricted to `ER(a)`.
+pub fn backward_reachable_within(
+    sg: &StateGraph,
+    targets: &BTreeSet<StateId>,
+    within: &BTreeSet<StateId>,
+) -> BTreeSet<StateId> {
+    let pred = sg.predecessors();
+    let mut out: BTreeSet<StateId> = targets
+        .iter()
+        .copied()
+        .filter(|s| within.contains(s))
+        .collect();
+    let mut q: VecDeque<StateId> = out.iter().copied().collect();
+    while let Some(s) = q.pop_front() {
+        for &(_, p) in &pred[s as usize] {
+            if within.contains(&p) && out.insert(p) {
+                q.push_back(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_state_graph;
+    use reshuffle_petri::{parse_g, Polarity};
+
+    const FIG1: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn fig1_ers_intersect_as_in_paper() {
+        // ER(Req+) = {1*0*, 00*}, ER(Ack-) = {1*0*, 1*1}: they intersect,
+        // so Req+ and Ack- are concurrent.
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let req = sg.signal_by_name("Req").unwrap();
+        let ack = sg.signal_by_name("Ack").unwrap();
+        let req_p = SignalEdge {
+            signal: req,
+            polarity: Polarity::Rise,
+        };
+        let ack_m = SignalEdge {
+            signal: ack,
+            polarity: Polarity::Fall,
+        };
+        let er_req = excitation_set(&sg, req_p);
+        let er_ack = excitation_set(&sg, ack_m);
+        assert_eq!(er_req.len(), 2);
+        assert_eq!(er_ack.len(), 2);
+        let inter: Vec<_> = er_req.intersection(&er_ack).collect();
+        assert_eq!(inter.len(), 1);
+    }
+
+    #[test]
+    fn regions_are_connected_components() {
+        // Two instances of b+ in disjoint parts of the cycle produce two
+        // separate excitation regions of edge b+.
+        let src = "\
+.model two
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+/2
+a+/2 b+/2
+b+/2 a-/2
+a-/2 b-/2
+b-/2 a+
+.marking { <b-/2,a+> }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let b = sg.signal_by_name("b").unwrap();
+        let bp = SignalEdge {
+            signal: b,
+            polarity: Polarity::Rise,
+        };
+        let regions = excitation_regions(&sg, bp);
+        assert_eq!(regions.len(), 2);
+        for r in &regions {
+            assert_eq!(r.len(), 1);
+            assert_eq!(minimal_states(&sg, r).len(), 1);
+        }
+    }
+
+    #[test]
+    fn minimal_states_of_multi_state_region() {
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let req = sg.signal_by_name("Req").unwrap();
+        let req_p = SignalEdge {
+            signal: req,
+            polarity: Polarity::Rise,
+        };
+        let regions = excitation_regions(&sg, req_p);
+        assert_eq!(regions.len(), 1);
+        // ER(Req+) = {1*0*, 00*}; its minimal state is 1*0* (entered by
+        // Req-), since 00* is reached from 1*0* by Ack-.
+        let mins = minimal_states(&sg, &regions[0]);
+        assert_eq!(mins.len(), 1);
+    }
+
+    #[test]
+    fn backward_reach_stays_within() {
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let req = sg.signal_by_name("Req").unwrap();
+        let ack = sg.signal_by_name("Ack").unwrap();
+        let req_p = SignalEdge {
+            signal: req,
+            polarity: Polarity::Rise,
+        };
+        let ack_m = SignalEdge {
+            signal: ack,
+            polarity: Polarity::Fall,
+        };
+        let er_req = excitation_set(&sg, req_p);
+        let er_ack = excitation_set(&sg, ack_m);
+        let inter: BTreeSet<_> = er_req.intersection(&er_ack).copied().collect();
+        let br = backward_reachable_within(&sg, &inter, &er_req);
+        // 1*0* is minimal in ER(Req+), so nothing else is backward
+        // reachable inside the region.
+        assert_eq!(br, inter);
+    }
+}

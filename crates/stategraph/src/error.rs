@@ -1,0 +1,74 @@
+//! Errors for state-graph construction and analysis.
+
+use std::fmt;
+
+use reshuffle_petri::PetriError;
+
+/// Errors produced while building or analysing a state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgError {
+    /// Error bubbled up from the underlying Petri-net machinery.
+    Petri(PetriError),
+    /// More signals than the 64 supported by the `u64` state codes.
+    TooManySignals(usize),
+    /// The STG is not consistent: a signal would have to be both 0 and 1
+    /// in the same state, or rise/fall edges do not alternate.
+    Inconsistent {
+        /// Name of the offending signal.
+        signal: String,
+        /// Human-readable witness of the violation.
+        witness: String,
+    },
+    /// A structural precondition was violated (described in the message).
+    Invalid(String),
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::Petri(e) => write!(f, "{e}"),
+            SgError::TooManySignals(n) => {
+                write!(f, "{n} signals exceed the supported maximum of 64")
+            }
+            SgError::Inconsistent { signal, witness } => {
+                write!(f, "STG is not consistent for signal `{signal}`: {witness}")
+            }
+            SgError::Invalid(m) => write!(f, "invalid state graph: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SgError::Petri(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PetriError> for SgError {
+    fn from(e: PetriError) -> Self {
+        SgError::Petri(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SgError::TooManySignals(100).to_string().contains("64"));
+        let e = SgError::Inconsistent {
+            signal: "a".into(),
+            witness: "a+ fires twice".into(),
+        };
+        assert!(e.to_string().contains("`a`"));
+        let p: SgError = PetriError::UnknownName("x".into()).into();
+        assert!(p.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Implementability properties of state graphs (Section 2 of the paper):
+//! determinism, commutativity, output persistency — together
+//! *speed independence* — plus deadlock freedom.
+//!
+//! Checks return structured *violation reports* rather than errors, so
+//! callers can both assert properties in tests and display diagnostics.
+
+use reshuffle_petri::SignalEdge;
+
+use crate::sg::{StateGraph, StateId};
+
+/// A determinism violation: two arcs with the same edge label leave one
+/// state towards different targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NondeterminismWitness {
+    /// The branching state.
+    pub state: StateId,
+    /// The doubly-enabled edge.
+    pub edge: SignalEdge,
+    /// The two distinct successor states.
+    pub targets: (StateId, StateId),
+}
+
+/// A commutativity violation: the two orders of firing a diamond of
+/// events reach different states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommutativityWitness {
+    /// The state where both events are enabled.
+    pub state: StateId,
+    /// The two event edges.
+    pub edges: (SignalEdge, SignalEdge),
+    /// States reached by `a;b` and by `b;a`.
+    pub results: (StateId, StateId),
+}
+
+/// A persistency violation: `disabled` was enabled in `state` but not
+/// after firing `by`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistencyWitness {
+    /// The state where both events were enabled.
+    pub state: StateId,
+    /// The event that got disabled.
+    pub disabled: SignalEdge,
+    /// The event whose firing disabled it.
+    pub by: SignalEdge,
+}
+
+/// Returns all determinism violations (empty = deterministic).
+pub fn nondeterminism_witnesses(sg: &StateGraph) -> Vec<NondeterminismWitness> {
+    let mut out = Vec::new();
+    for s in sg.state_ids() {
+        let succ = sg.succ(s);
+        for (i, &(e1, t1)) in succ.iter().enumerate() {
+            for &(e2, t2) in &succ[i + 1..] {
+                let (Some(a), Some(b)) = (sg.event(e1).edge, sg.event(e2).edge) else {
+                    continue;
+                };
+                if a == b && t1 != t2 {
+                    out.push(NondeterminismWitness {
+                        state: s,
+                        edge: a,
+                        targets: (t1, t2),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns all commutativity violations (empty = commutative).
+///
+/// For every state with two distinct enabled edges `a`, `b` where both
+/// interleavings exist, the final states must coincide.
+pub fn commutativity_witnesses(sg: &StateGraph) -> Vec<CommutativityWitness> {
+    let mut out = Vec::new();
+    for s in sg.state_ids() {
+        let edges = sg.enabled_edges(s);
+        for (i, &a) in edges.iter().enumerate() {
+            for &b in &edges[i + 1..] {
+                let (Some(sa), Some(sb)) = (sg.step_edge(s, a), sg.step_edge(s, b)) else {
+                    continue;
+                };
+                let (Some(sab), Some(sba)) = (sg.step_edge(sa, b), sg.step_edge(sb, a)) else {
+                    continue;
+                };
+                if sab != sba {
+                    out.push(CommutativityWitness {
+                        state: s,
+                        edges: (a, b),
+                        results: (sab, sba),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns all output-persistency violations (empty = output-persistent).
+///
+/// Per the paper: every *non-input* event must stay enabled until it
+/// fires, and *input* events may only be disabled by other input events
+/// (the environment's choice), never by the circuit's own events.
+pub fn persistency_witnesses(sg: &StateGraph) -> Vec<PersistencyWitness> {
+    let mut out = Vec::new();
+    for s in sg.state_ids() {
+        let edges = sg.enabled_edges(s);
+        for &(ev, t) in sg.succ(s) {
+            let Some(fired) = sg.event(ev).edge else {
+                continue;
+            };
+            let fired_is_input = sg.signal(fired.signal).kind == reshuffle_petri::SignalKind::Input;
+            for &other in &edges {
+                if other == fired {
+                    continue;
+                }
+                let other_is_input =
+                    sg.signal(other.signal).kind == reshuffle_petri::SignalKind::Input;
+                // Input events may disable input events.
+                if fired_is_input && other_is_input {
+                    continue;
+                }
+                if !sg.enables_edge(t, other) {
+                    out.push(PersistencyWitness {
+                        state: s,
+                        disabled: other,
+                        by: fired,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Aggregate speed-independence report.
+#[derive(Debug, Clone, Default)]
+pub struct SpeedIndependenceReport {
+    /// Determinism violations.
+    pub nondeterminism: Vec<NondeterminismWitness>,
+    /// Commutativity violations.
+    pub noncommutativity: Vec<CommutativityWitness>,
+    /// Persistency violations.
+    pub nonpersistency: Vec<PersistencyWitness>,
+}
+
+impl SpeedIndependenceReport {
+    /// True if no violations were found.
+    pub fn is_speed_independent(&self) -> bool {
+        self.nondeterminism.is_empty()
+            && self.noncommutativity.is_empty()
+            && self.nonpersistency.is_empty()
+    }
+}
+
+/// Runs all three speed-independence checks.
+pub fn speed_independence(sg: &StateGraph) -> SpeedIndependenceReport {
+    SpeedIndependenceReport {
+        nondeterminism: nondeterminism_witnesses(sg),
+        noncommutativity: commutativity_witnesses(sg),
+        nonpersistency: persistency_witnesses(sg),
+    }
+}
+
+/// True if every event of the graph's event table labels at least one arc.
+pub fn all_events_fire(sg: &StateGraph) -> bool {
+    let mut fired = vec![false; sg.num_events()];
+    for s in sg.state_ids() {
+        for &(e, _) in sg.succ(s) {
+            fired[e.index()] = true;
+        }
+    }
+    fired.into_iter().all(|b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_state_graph;
+    use reshuffle_petri::parse_g;
+
+    const FIG1: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn fig1_is_speed_independent() {
+        let sg = build_state_graph(&parse_g(FIG1).unwrap()).unwrap();
+        let rep = speed_independence(&sg);
+        assert!(rep.is_speed_independent(), "{rep:?}");
+        assert!(all_events_fire(&sg));
+    }
+
+    #[test]
+    fn output_disabled_by_input_is_flagged() {
+        // Free choice between input a+ and output b+: firing a+ disables
+        // b+, which violates output persistency.
+        let src = "\
+.model race
+.inputs a
+.outputs b
+.graph
+p0 a+ b+
+a+ a-
+b+ b-
+a- p0
+b- p0
+.marking { p0 }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let w = persistency_witnesses(&sg);
+        assert!(!w.is_empty());
+        // Both directions are violations: a+ disables b+ (output killed)
+        // and b+ disables a+ (input disabled by an output).
+        assert!(w.len() >= 2, "{w:?}");
+    }
+
+    #[test]
+    fn input_choice_is_allowed() {
+        // Free choice between two inputs is legal (environment decides).
+        let src = "\
+.model choice
+.inputs a b
+.graph
+p0 a+ b+
+a+ a-
+b+ b-
+a- p0
+b- p0
+.marking { p0 }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let w = persistency_witnesses(&sg);
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn concurrent_events_are_persistent() {
+        let src = "\
+.model conc
+.inputs a
+.outputs b
+.graph
+p0 a+
+p1 b+
+a+ a-
+b+ b-
+a- p0
+b- p1
+.marking { p0 p1 }
+.end
+";
+        let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
+        let rep = speed_independence(&sg);
+        assert!(rep.is_speed_independent(), "{rep:?}");
+    }
+}

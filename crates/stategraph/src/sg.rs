@@ -1,0 +1,602 @@
+//! The state-graph data structure.
+//!
+//! A [`StateGraph`] is a finite automaton whose states carry binary
+//! signal codes and whose arcs are labelled with *events*. An event is a
+//! specific STG transition (so two instances `a+` and `a+/2` are two
+//! events with the same [`SignalEdge`] label); most properties
+//! (determinism, persistency, concurrency, excitation regions) are
+//! defined at the *edge* level, merging instances, exactly as in the
+//! paper.
+//!
+//! State graphs are immutable once built; transformations (concurrency
+//! reduction) construct new graphs via [`StateGraph::from_parts`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use reshuffle_petri::{Marking, Signal, SignalEdge, SignalId, SignalKind};
+
+use crate::error::{Result, SgError};
+
+/// Index of a state within a [`StateGraph`].
+pub type StateId = u32;
+
+/// Index of an event (an STG transition) within a [`StateGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Dense index of the event.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Static information about an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventInfo {
+    /// Rendered label, e.g. `ack+/2` or a dummy name.
+    pub label: String,
+    /// The signal edge, if not a dummy.
+    pub edge: Option<SignalEdge>,
+}
+
+/// One state: binary code plus outgoing arcs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Binary code: bit *i* is the value of signal *i*.
+    pub code: u64,
+    /// Outgoing arcs `(event, successor)`, sorted by event id.
+    pub succ: Vec<(EventId, StateId)>,
+    /// Originating marking, if the graph was built from an STG.
+    pub marking: Option<Marking>,
+}
+
+/// A state graph with binary-encoded states.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    name: String,
+    signals: Vec<Signal>,
+    events: Vec<EventInfo>,
+    states: Vec<State>,
+    initial: StateId,
+}
+
+impl StateGraph {
+    /// Assembles a state graph from raw parts, validating arc targets,
+    /// sorting successor lists and rejecting empty graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgError::Invalid`] on dangling arc targets, an
+    /// out-of-range initial state, or more than 64 signals.
+    pub fn from_parts(
+        name: impl Into<String>,
+        signals: Vec<Signal>,
+        events: Vec<EventInfo>,
+        mut states: Vec<State>,
+        initial: StateId,
+    ) -> Result<Self> {
+        if signals.len() > 64 {
+            return Err(SgError::TooManySignals(signals.len()));
+        }
+        if states.is_empty() {
+            return Err(SgError::Invalid("no states".into()));
+        }
+        if initial as usize >= states.len() {
+            return Err(SgError::Invalid(format!(
+                "initial state {initial} out of range ({} states)",
+                states.len()
+            )));
+        }
+        let num_states = states.len();
+        for (i, st) in states.iter_mut().enumerate() {
+            for &(e, tgt) in &st.succ {
+                if e.index() >= events.len() {
+                    return Err(SgError::Invalid(format!("state {i}: unknown event {e:?}")));
+                }
+                if tgt as usize >= num_states {
+                    return Err(SgError::Invalid(format!(
+                        "state {i}: dangling arc to {tgt}"
+                    )));
+                }
+            }
+            st.succ.sort_unstable();
+            st.succ.dedup();
+        }
+        Ok(StateGraph {
+            name: name.into(),
+            signals,
+            events,
+            states,
+            initial,
+        })
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of signals.
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The signal table.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// The signal with the given id.
+    pub fn signal(&self, s: SignalId) -> &Signal {
+        &self.signals[s.index()]
+    }
+
+    /// Looks up a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(SignalId::from_index)
+    }
+
+    /// The event table.
+    pub fn events(&self) -> &[EventInfo] {
+        &self.events
+    }
+
+    /// Information about one event.
+    pub fn event(&self, e: EventId) -> &EventInfo {
+        &self.events[e.index()]
+    }
+
+    /// Looks up an event by its rendered label.
+    pub fn event_by_label(&self, label: &str) -> Option<EventId> {
+        self.events
+            .iter()
+            .position(|ev| ev.label == label)
+            .map(|i| EventId(i as u32))
+    }
+
+    /// True if the event is an edge of an input signal.
+    pub fn is_input_event(&self, e: EventId) -> bool {
+        match self.events[e.index()].edge {
+            Some(edge) => self.signals[edge.signal.index()].kind == SignalKind::Input,
+            None => false,
+        }
+    }
+
+    /// True if the event is an edge of an output or internal signal.
+    pub fn is_noninput_event(&self, e: EventId) -> bool {
+        match self.events[e.index()].edge {
+            Some(edge) => self.signals[edge.signal.index()].kind.is_noninput(),
+            None => false,
+        }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// A state by id.
+    pub fn state(&self, s: StateId) -> &State {
+        &self.states[s as usize]
+    }
+
+    /// Iterates over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        0..self.states.len() as StateId
+    }
+
+    /// The binary code of state `s`.
+    pub fn code(&self, s: StateId) -> u64 {
+        self.states[s as usize].code
+    }
+
+    /// The value of signal `sig` in state `s`.
+    pub fn value(&self, s: StateId, sig: SignalId) -> bool {
+        (self.states[s as usize].code >> sig.index()) & 1 == 1
+    }
+
+    /// Outgoing arcs of state `s`.
+    pub fn succ(&self, s: StateId) -> &[(EventId, StateId)] {
+        &self.states[s as usize].succ
+    }
+
+    /// The successor of `s` under event `e`, if any.
+    pub fn step(&self, s: StateId, e: EventId) -> Option<StateId> {
+        self.states[s as usize]
+            .succ
+            .iter()
+            .find(|&&(ev, _)| ev == e)
+            .map(|&(_, t)| t)
+    }
+
+    /// The successor of `s` under any event with the given edge label.
+    pub fn step_edge(&self, s: StateId, edge: SignalEdge) -> Option<StateId> {
+        self.states[s as usize]
+            .succ
+            .iter()
+            .find(|&&(ev, _)| self.events[ev.index()].edge == Some(edge))
+            .map(|&(_, t)| t)
+    }
+
+    /// True if some event with the given edge is enabled in `s`.
+    pub fn enables_edge(&self, s: StateId, edge: SignalEdge) -> bool {
+        self.states[s as usize]
+            .succ
+            .iter()
+            .any(|&(ev, _)| self.events[ev.index()].edge == Some(edge))
+    }
+
+    /// The distinct signal edges enabled in `s`.
+    pub fn enabled_edges(&self, s: StateId) -> Vec<SignalEdge> {
+        let mut edges: Vec<SignalEdge> = self.states[s as usize]
+            .succ
+            .iter()
+            .filter_map(|&(ev, _)| self.events[ev.index()].edge)
+            .collect();
+        edges.sort_by_key(|e| (e.signal, e.polarity));
+        edges.dedup();
+        edges
+    }
+
+    /// The distinct *non-input* signal edges enabled in `s` (the set CSC
+    /// compares between equally-coded states).
+    pub fn enabled_noninput_edges(&self, s: StateId) -> Vec<SignalEdge> {
+        self.enabled_edges(s)
+            .into_iter()
+            .filter(|e| self.signals[e.signal.index()].kind.is_noninput())
+            .collect()
+    }
+
+    /// Computes the predecessor lists (arcs reversed).
+    pub fn predecessors(&self) -> Vec<Vec<(EventId, StateId)>> {
+        let mut pred: Vec<Vec<(EventId, StateId)>> = vec![Vec::new(); self.states.len()];
+        for s in self.state_ids() {
+            for &(e, t) in self.succ(s) {
+                pred[t as usize].push((e, s));
+            }
+        }
+        pred
+    }
+
+    /// Total number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.states.iter().map(|st| st.succ.len()).sum()
+    }
+
+    /// States with no outgoing arcs.
+    pub fn deadlock_states(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|&s| self.succ(s).is_empty())
+            .collect()
+    }
+
+    /// A canonical 64-bit fingerprint of the graph: BFS-renumber states
+    /// from the initial state visiting arcs in event order (the graph is
+    /// deterministic per event id), then hash codes and renumbered arcs.
+    /// Isomorphic graphs over the same event table hash equal.
+    pub fn fingerprint(&self) -> u64 {
+        let order = self.bfs_order();
+        let renum: HashMap<StateId, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let mut h = DefaultHasher::new();
+        self.signals.len().hash(&mut h);
+        self.events.len().hash(&mut h);
+        for &s in &order {
+            self.states[s as usize].code.hash(&mut h);
+            for &(e, t) in self.succ(s) {
+                e.0.hash(&mut h);
+                renum.get(&t).copied().unwrap_or(u32::MAX).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// BFS order of states reachable from the initial state (arcs in
+    /// event order). States unreachable from the initial state are
+    /// appended in id order (a well-formed graph has none).
+    pub fn bfs_order(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut order = Vec::with_capacity(self.states.len());
+        let mut q = VecDeque::new();
+        q.push_back(self.initial);
+        seen[self.initial as usize] = true;
+        while let Some(s) = q.pop_front() {
+            order.push(s);
+            for &(_, t) in self.succ(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    q.push_back(t);
+                }
+            }
+        }
+        for s in self.state_ids() {
+            if !seen[s as usize] {
+                order.push(s);
+            }
+        }
+        order
+    }
+
+    /// The set of states reachable from the initial state.
+    pub fn reachable_from_initial(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut q = VecDeque::new();
+        q.push_back(self.initial);
+        seen[self.initial as usize] = true;
+        while let Some(s) = q.pop_front() {
+            for &(_, t) in self.succ(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    q.push_back(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Builds a new graph keeping only states marked `true` in `keep`
+    /// and only arcs accepted by `keep_arc(src, event, dst)`. States are
+    /// renumbered densely; the initial state must be kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgError::Invalid`] if the initial state is dropped or
+    /// if a kept arc points to a dropped state.
+    pub fn filtered(
+        &self,
+        keep: &[bool],
+        mut keep_arc: impl FnMut(StateId, EventId, StateId) -> bool,
+    ) -> Result<StateGraph> {
+        if !keep[self.initial as usize] {
+            return Err(SgError::Invalid("initial state dropped".into()));
+        }
+        let mut renum: Vec<Option<StateId>> = vec![None; self.states.len()];
+        let mut next = 0u32;
+        for s in self.state_ids() {
+            if keep[s as usize] {
+                renum[s as usize] = Some(next);
+                next += 1;
+            }
+        }
+        let mut states = Vec::with_capacity(next as usize);
+        for s in self.state_ids() {
+            if !keep[s as usize] {
+                continue;
+            }
+            let mut succ = Vec::new();
+            for &(e, t) in self.succ(s) {
+                if keep_arc(s, e, t) {
+                    match renum[t as usize] {
+                        Some(nt) => succ.push((e, nt)),
+                        None => {
+                            return Err(SgError::Invalid(format!(
+                                "kept arc {s} -{}-> {t} targets a dropped state",
+                                self.event(e).label
+                            )))
+                        }
+                    }
+                }
+            }
+            states.push(State {
+                code: self.states[s as usize].code,
+                succ,
+                marking: self.states[s as usize].marking.clone(),
+            });
+        }
+        StateGraph::from_parts(
+            self.name.clone(),
+            self.signals.clone(),
+            self.events.clone(),
+            states,
+            renum[self.initial as usize].unwrap(),
+        )
+    }
+
+    /// Renders the code of state `s` with one char per signal, `*`-marked
+    /// for enabled signals, in signal order — like Fig. 1(d): `1*0*`.
+    pub fn render_state(&self, s: StateId) -> String {
+        let mut out = String::new();
+        for sig in 0..self.signals.len() {
+            let sig_id = SignalId::from_index(sig);
+            let v = if self.value(s, sig_id) { '1' } else { '0' };
+            out.push(v);
+            let excited = self
+                .enabled_edges(s)
+                .iter()
+                .any(|e| e.signal == sig_id);
+            if excited {
+                out.push('*');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::Polarity;
+
+    fn sig(name: &str, kind: SignalKind) -> Signal {
+        Signal {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Hand-built 4-state diamond: a+ and b+ concurrent from 00.
+    pub(crate) fn diamond() -> StateGraph {
+        let signals = vec![sig("a", SignalKind::Input), sig("b", SignalKind::Output)];
+        let ea = SignalEdge {
+            signal: SignalId(0),
+            polarity: Polarity::Rise,
+        };
+        let eb = SignalEdge {
+            signal: SignalId(1),
+            polarity: Polarity::Rise,
+        };
+        let events = vec![
+            EventInfo {
+                label: "a+".into(),
+                edge: Some(ea),
+            },
+            EventInfo {
+                label: "b+".into(),
+                edge: Some(eb),
+            },
+        ];
+        let states = vec![
+            State {
+                code: 0b00,
+                succ: vec![(EventId(0), 1), (EventId(1), 2)],
+                marking: None,
+            },
+            State {
+                code: 0b01,
+                succ: vec![(EventId(1), 3)],
+                marking: None,
+            },
+            State {
+                code: 0b10,
+                succ: vec![(EventId(0), 3)],
+                marking: None,
+            },
+            State {
+                code: 0b11,
+                succ: vec![],
+                marking: None,
+            },
+        ];
+        StateGraph::from_parts("diamond", signals, events, states, 0).unwrap()
+    }
+
+    #[test]
+    fn basic_queries() {
+        let g = diamond();
+        assert_eq!(g.num_states(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.code(3), 0b11);
+        assert!(g.value(3, SignalId(0)));
+        assert_eq!(g.step(0, EventId(0)), Some(1));
+        assert_eq!(g.step(1, EventId(0)), None);
+        assert!(g.is_input_event(EventId(0)));
+        assert!(g.is_noninput_event(EventId(1)));
+        assert_eq!(g.deadlock_states(), vec![3]);
+        assert_eq!(g.event_by_label("b+"), Some(EventId(1)));
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let g = diamond();
+        let pred = g.predecessors();
+        assert_eq!(pred[0], vec![]);
+        assert_eq!(pred[3].len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_stable_under_renumbering() {
+        let g1 = diamond();
+        // Same graph with states 1 and 2 swapped.
+        let signals = g1.signals().to_vec();
+        let events = g1.events().to_vec();
+        let states = vec![
+            State {
+                code: 0b00,
+                succ: vec![(EventId(0), 2), (EventId(1), 1)],
+                marking: None,
+            },
+            State {
+                code: 0b10,
+                succ: vec![(EventId(0), 3)],
+                marking: None,
+            },
+            State {
+                code: 0b01,
+                succ: vec![(EventId(1), 3)],
+                marking: None,
+            },
+            State {
+                code: 0b11,
+                succ: vec![],
+                marking: None,
+            },
+        ];
+        let g2 = StateGraph::from_parts("diamond", signals, events, states, 0).unwrap();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_differs_on_arc_removal() {
+        let g1 = diamond();
+        let keep = vec![true; 4];
+        let g2 = g1
+            .filtered(&keep, |s, e, _| !(s == 0 && e == EventId(1)))
+            .unwrap();
+        // Dropping state 2's incoming arc leaves it unreachable but kept;
+        // fingerprints must differ.
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+    }
+
+    #[test]
+    fn filtered_renumbers() {
+        let g = diamond();
+        let keep = vec![true, true, false, true];
+        let r = g
+            .filtered(&keep, |_, e, _| e != EventId(1) || true)
+            .unwrap_err();
+        // arc 0 -b+-> 2 targets dropped state -> error unless filtered out
+        assert!(matches!(r, SgError::Invalid(_)));
+        let r = g
+            .filtered(&keep, |_, _, t| t != 2)
+            .unwrap();
+        assert_eq!(r.num_states(), 3);
+        assert_eq!(r.num_arcs(), 2);
+        assert_eq!(r.code(2), 0b11);
+    }
+
+    #[test]
+    fn render_state_marks_excited() {
+        let g = diamond();
+        assert_eq!(g.render_state(0), "0*0*");
+        assert_eq!(g.render_state(1), "10*");
+        assert_eq!(g.render_state(3), "11");
+    }
+
+    #[test]
+    fn rejects_bad_parts() {
+        let signals = vec![sig("a", SignalKind::Input)];
+        let events = vec![];
+        let states = vec![State {
+            code: 0,
+            succ: vec![(EventId(0), 0)],
+            marking: None,
+        }];
+        assert!(StateGraph::from_parts("x", signals, events, states, 0).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! CSC resolution by state-signal insertion.
+//!
+//! petrify resolves CSC with region-based bisection of the state graph;
+//! we implement the documented substitution (DESIGN.md, substitution 3):
+//! a search over STG-level *serial transition insertions*. A candidate
+//! inserts `csc_k+` in series after event `x` and `csc_k-` after event
+//! `y` (never delaying input transitions); it is kept if the resulting
+//! STG is consistent, speed-independent, interface-preserving by
+//! construction, and strictly reduces the number of CSC conflicts.
+//! Candidates are ranked by (remaining conflicts, literal estimate).
+
+use reshuffle_petri::{Polarity, SignalKind, Stg, TransitionId};
+use reshuffle_petri::structural::insert_series_transition;
+use reshuffle_sg::csc::analyze_csc;
+use reshuffle_sg::props::speed_independence;
+use reshuffle_sg::{build_state_graph, StateGraph};
+
+use crate::error::{Result, SynthError};
+use crate::func::literal_estimate;
+
+/// Result of CSC resolution.
+#[derive(Debug, Clone)]
+pub struct CscResolution {
+    /// The transformed STG with inserted state signals.
+    pub stg: Stg,
+    /// Its (conflict-free) state graph.
+    pub sg: StateGraph,
+    /// Names of the inserted internal signals.
+    pub inserted: Vec<String>,
+}
+
+/// Options controlling the insertion search.
+#[derive(Debug, Clone)]
+pub struct CscOptions {
+    /// Maximum number of state signals to insert.
+    pub max_signals: usize,
+    /// How many least-conflict candidates get an exact literal estimate.
+    pub rank_pool: usize,
+}
+
+impl Default for CscOptions {
+    fn default() -> Self {
+        CscOptions {
+            max_signals: 4,
+            rank_pool: 12,
+        }
+    }
+}
+
+/// Resolves CSC conflicts of `stg` by inserting internal state signals.
+///
+/// Returns the transformed STG (unchanged if it already has CSC).
+///
+/// # Errors
+///
+/// * [`SynthError::Sg`] if the input STG cannot be built into a state
+///   graph at all;
+/// * [`SynthError::CscResolutionFailed`] if no insertion reduces the
+///   conflict count or the signal budget is exhausted.
+pub fn resolve_csc(stg: &Stg, opts: &CscOptions) -> Result<CscResolution> {
+    let mut current = stg.clone();
+    let mut sg = build_state_graph(&current)?;
+    let mut inserted: Vec<String> = Vec::new();
+    loop {
+        let conflicts = analyze_csc(&sg).num_csc_conflicts();
+        if conflicts == 0 {
+            return Ok(CscResolution {
+                stg: current,
+                sg,
+                inserted,
+            });
+        }
+        if inserted.len() >= opts.max_signals {
+            return Err(SynthError::CscResolutionFailed {
+                remaining: conflicts,
+                inserted: inserted.len(),
+            });
+        }
+        let name = format!("csc{}", inserted.len());
+        match best_insertion(&current, &name, conflicts, opts) {
+            Some((stg2, sg2)) => {
+                current = stg2;
+                sg = sg2;
+                inserted.push(name);
+            }
+            None => {
+                return Err(SynthError::CscResolutionFailed {
+                    remaining: conflicts,
+                    inserted: inserted.len(),
+                })
+            }
+        }
+    }
+}
+
+/// Tries every (x, y) insertion pair; returns the best strictly-improving
+/// candidate.
+fn best_insertion(
+    stg: &Stg,
+    signal_name: &str,
+    current_conflicts: usize,
+    opts: &CscOptions,
+) -> Option<(Stg, StateGraph)> {
+    let transitions: Vec<TransitionId> = stg.transitions().collect();
+    // Phase 1: collect feasible candidates with their conflict counts.
+    let mut feasible: Vec<(usize, Stg, StateGraph)> = Vec::new();
+    for &tx in &transitions {
+        for &ty in &transitions {
+            if tx == ty {
+                continue;
+            }
+            let Some(cand) = try_insertion(stg, signal_name, tx, ty) else {
+                continue;
+            };
+            let Ok(sg2) = build_state_graph(&cand) else {
+                continue;
+            };
+            if !speed_independence(&sg2).is_speed_independent() {
+                continue;
+            }
+            let c = analyze_csc(&sg2).num_csc_conflicts();
+            if c < current_conflicts {
+                feasible.push((c, cand, sg2));
+            }
+        }
+    }
+    if feasible.is_empty() {
+        return None;
+    }
+    // Phase 2: among the least-conflict pool, rank by literal estimate.
+    feasible.sort_by_key(|(c, _, _)| *c);
+    let best_c = feasible[0].0;
+    let pool: Vec<(usize, Stg, StateGraph)> = feasible
+        .into_iter()
+        .filter(|(c, _, _)| *c == best_c)
+        .take(opts.rank_pool)
+        .collect();
+    pool.into_iter()
+        .min_by_key(|(_, _, sg2)| literal_estimate(sg2))
+        .map(|(_, stg2, sg2)| (stg2, sg2))
+}
+
+/// Builds the candidate STG with `name+` inserted after `tx` and `name-`
+/// after `ty`; `None` if the structural insertion is infeasible.
+fn try_insertion(stg: &Stg, name: &str, tx: TransitionId, ty: TransitionId) -> Option<Stg> {
+    let mut cand = stg.clone();
+    let sig = cand.add_signal(name, SignalKind::Internal).ok()?;
+    let not_input = |g: &Stg, t: TransitionId| !g.is_input_transition(t);
+    insert_series_transition(&mut cand, tx, sig, Polarity::Rise, not_input).ok()?;
+    insert_series_transition(&mut cand, ty, sig, Polarity::Fall, not_input).ok()?;
+    Some(cand)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexgate::synthesize_complex_gates;
+    use crate::verify::verify_against_sg;
+    use reshuffle_petri::parse_g;
+
+    const FIG1: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    /// Fully sequential LR handshake (the Q-module reshuffling of
+    /// Table 1): one CSC conflict, resolvable by one state signal.
+    const QMODULE: &str = "\
+.model qmodule
+.inputs li ri
+.outputs lo ro
+.graph
+li+ ro+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- lo+
+lo+ li-
+li- lo-
+lo- li+
+.marking { <lo-,li+> }
+.end
+";
+
+    #[test]
+    fn qmodule_resolved_with_one_signal() {
+        let stg = parse_g(QMODULE).unwrap();
+        let sg0 = reshuffle_sg::build_state_graph(&stg).unwrap();
+        assert!(analyze_csc(&sg0).num_csc_conflicts() > 0);
+        let res = resolve_csc(&stg, &CscOptions::default()).unwrap();
+        assert_eq!(res.inserted.len(), 1);
+        assert_eq!(analyze_csc(&res.sg).num_csc_conflicts(), 0);
+        // The resolved graph must synthesize and verify.
+        let imp = synthesize_complex_gates(&res.sg).unwrap();
+        verify_against_sg(&res.sg, &imp.netlist).unwrap();
+    }
+
+    #[test]
+    fn fig1_conflict_is_unresolvable_by_insertion() {
+        // The conflicting states of Fig. 1 are separated by input-only
+        // paths (Req-, Req+), so no interface-preserving insertion can
+        // distinguish them; the search must fail cleanly.
+        let stg = parse_g(FIG1).unwrap();
+        let e = resolve_csc(&stg, &CscOptions::default()).unwrap_err();
+        assert!(matches!(
+            e,
+            SynthError::CscResolutionFailed { inserted: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn conflict_free_is_identity() {
+        let src = "\
+.model ok
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let res = resolve_csc(&stg, &CscOptions::default()).unwrap();
+        assert!(res.inserted.is_empty());
+        assert_eq!(res.sg.num_states(), 4);
+    }
+
+    #[test]
+    fn budget_zero_fails_on_conflicts() {
+        let stg = parse_g(FIG1).unwrap();
+        let e = resolve_csc(
+            &stg,
+            &CscOptions {
+                max_signals: 0,
+                rank_pool: 4,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(e, SynthError::CscResolutionFailed { .. }));
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors for the synthesis back-end.
+
+use std::fmt;
+
+use reshuffle_sg::SgError;
+
+/// Errors produced during logic synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The state graph violates CSC for the named signal; logic cannot
+    /// be derived (run CSC resolution first).
+    CscViolation {
+        /// Signal whose next-state function is ill-defined.
+        signal: String,
+        /// Number of conflicting codes.
+        conflicts: usize,
+    },
+    /// CSC resolution gave up: no insertion candidate improved coding.
+    CscResolutionFailed {
+        /// Conflicts remaining when the search stalled.
+        remaining: usize,
+        /// Signals inserted before stalling.
+        inserted: usize,
+    },
+    /// An error from state-graph analysis.
+    Sg(SgError),
+    /// The implementation failed verification against the state graph.
+    VerificationFailed(String),
+    /// A malformed request (described in the message).
+    Invalid(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::CscViolation { signal, conflicts } => write!(
+                f,
+                "signal `{signal}` has {conflicts} CSC-conflicting codes; resolve CSC first"
+            ),
+            SynthError::CscResolutionFailed {
+                remaining,
+                inserted,
+            } => write!(
+                f,
+                "CSC resolution stalled with {remaining} conflicts after inserting {inserted} signals"
+            ),
+            SynthError::Sg(e) => write!(f, "{e}"),
+            SynthError::VerificationFailed(m) => write!(f, "implementation verification failed: {m}"),
+            SynthError::Invalid(m) => write!(f, "invalid synthesis request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgError> for SynthError {
+    fn from(e: SgError) -> Self {
+        SynthError::Sg(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, SynthError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SynthError::CscViolation {
+            signal: "ack".into(),
+            conflicts: 2,
+        };
+        assert!(e.to_string().contains("ack"));
+        let e = SynthError::VerificationFailed("state 3".into());
+        assert!(e.to_string().contains("state 3"));
+    }
+}

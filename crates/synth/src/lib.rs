@@ -1,0 +1,58 @@
+//! Speed-independent logic synthesis back-end.
+//!
+//! Given a (CSC-satisfying) state graph, this crate derives and
+//! minimizes next-state functions, resolves CSC conflicts by state
+//! signal insertion when needed, maps the logic onto a 2-input gate
+//! library, and verifies the mapped netlist against the specification:
+//!
+//! * [`derive_all_functions`] / [`literal_estimate`] — next-state logic
+//!   (the estimate also drives the concurrency-reduction cost function);
+//! * [`resolve_csc`] — state-signal insertion (DESIGN.md substitution 3);
+//! * [`synthesize_complex_gates`] — complex-gate style (Fig. 3(d));
+//! * [`synthesize_gc`] — generalized-C style (Fig. 3(c));
+//! * [`Library`]/[`Netlist`] — gate library, mapped circuits, area and
+//!   network delays;
+//! * [`verify_against_sg`] — implementation-vs-specification check.
+//!
+//! # Example
+//!
+//! ```
+//! use reshuffle_petri::parse_g;
+//! use reshuffle_sg::build_state_graph;
+//! use reshuffle_synth::{synthesize_complex_gates, verify_against_sg, Library};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stg = parse_g(
+//!     ".model buf\n.inputs a\n.outputs b\n.graph\n\
+//!      a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+//! )?;
+//! let sg = build_state_graph(&stg)?;
+//! let imp = synthesize_complex_gates(&sg)?;
+//! verify_against_sg(&sg, &imp.netlist)?;
+//! assert_eq!(imp.netlist.area(&Library::default()), 0.0); // a wire
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod complexgate;
+mod csc_insert;
+mod error;
+mod func;
+mod gc;
+pub mod library;
+pub mod mapping;
+pub mod netlist;
+pub mod verify;
+
+pub use complexgate::{synthesize_complex_gates, ComplexGateImpl};
+pub use csc_insert::{resolve_csc, CscOptions, CscResolution};
+pub use error::{Result, SynthError};
+pub use func::{
+    derive_all_functions, derive_function, literal_estimate, ConflictPolicy, SignalFunction,
+};
+pub use gc::{derive_gc_function, synthesize_gc, GcFunction, GcImpl};
+pub use library::{GateType, Library};
+pub use netlist::{Netlist, Node, NodeId};
+pub use verify::{check_against_sg, verify_against_sg, verify_complete, Mismatch};

@@ -1,0 +1,159 @@
+//! Implementation verification: does a netlist realize the state graph?
+//!
+//! For speed-independent complex-gate (and gC) implementations the
+//! defining correctness condition is that, in every reachable state,
+//! the next value computed by each signal's network equals the implied
+//! value of that signal (rise-excited ⇒ 1, fall-excited ⇒ 0, stable ⇒
+//! current value). This catches minimizer, factoring and mapping bugs.
+
+use reshuffle_petri::{SignalId, SignalKind};
+use reshuffle_sg::nextstate::implied_value;
+use reshuffle_sg::StateGraph;
+
+use crate::error::{Result, SynthError};
+use crate::netlist::Netlist;
+
+/// A single verification mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// State where the netlist disagrees with the specification.
+    pub state: reshuffle_sg::StateId,
+    /// The signal computed wrongly.
+    pub signal: String,
+    /// Value the specification implies.
+    pub expected: bool,
+    /// Value the netlist computes.
+    pub got: bool,
+}
+
+/// Checks the netlist against every reachable state of the graph.
+///
+/// Returns all mismatches (empty = correct).
+pub fn check_against_sg(sg: &StateGraph, netlist: &Netlist) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for s in sg.state_ids() {
+        let code = sg.code(s);
+        let next = netlist.next_code(code);
+        for i in 0..sg.num_signals() {
+            let sig = SignalId::from_index(i);
+            if sg.signal(sig).kind == SignalKind::Input {
+                continue;
+            }
+            if netlist.driver(sig).is_none() {
+                continue;
+            }
+            let expected = implied_value(sg, s, sig);
+            let got = (next >> i) & 1 == 1;
+            if expected != got {
+                out.push(Mismatch {
+                    state: s,
+                    signal: sg.signal(sig).name.clone(),
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Like [`check_against_sg`] but returns an error on the first mismatch.
+///
+/// # Errors
+///
+/// [`SynthError::VerificationFailed`] describing the first mismatch.
+pub fn verify_against_sg(sg: &StateGraph, netlist: &Netlist) -> Result<()> {
+    let mismatches = check_against_sg(sg, netlist);
+    match mismatches.first() {
+        None => Ok(()),
+        Some(m) => Err(SynthError::VerificationFailed(format!(
+            "state {} ({}): signal `{}` computes {} but specification implies {}",
+            m.state,
+            sg.render_state(m.state),
+            m.signal,
+            m.got as u8,
+            m.expected as u8
+        ))),
+    }
+}
+
+/// Verifies that every driven signal is *complete*: all non-input
+/// signals of the graph have drivers in the netlist.
+///
+/// # Errors
+///
+/// [`SynthError::VerificationFailed`] naming the first undriven signal.
+pub fn verify_complete(sg: &StateGraph, netlist: &Netlist) -> Result<()> {
+    for i in 0..sg.num_signals() {
+        let sig = SignalId::from_index(i);
+        if sg.signal(sig).kind.is_noninput() && netlist.driver(sig).is_none() {
+            return Err(SynthError::VerificationFailed(format!(
+                "non-input signal `{}` has no driver",
+                sg.signal(sig).name
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexgate::synthesize_complex_gates;
+    use crate::gc::synthesize_gc;
+    use crate::library::GateType;
+    use crate::netlist::Node;
+    use reshuffle_petri::parse_g;
+    use reshuffle_sg::build_state_graph;
+
+    const CELEM: &str = "\
+.model celem
+.inputs a1 a2
+.outputs b
+.graph
+a1+ b+
+a2+ b+
+b+ a1- a2-
+a1- b-
+a2- b-
+b- a1+ a2+
+.marking { <b-,a1+> <b-,a2+> }
+.end
+";
+
+    #[test]
+    fn complex_gate_and_gc_both_verify() {
+        let sg = build_state_graph(&parse_g(CELEM).unwrap()).unwrap();
+        let cg = synthesize_complex_gates(&sg).unwrap();
+        verify_against_sg(&sg, &cg.netlist).unwrap();
+        verify_complete(&sg, &cg.netlist).unwrap();
+        let gc = synthesize_gc(&sg).unwrap();
+        verify_against_sg(&sg, &gc.netlist).unwrap();
+        verify_complete(&sg, &gc.netlist).unwrap();
+    }
+
+    #[test]
+    fn wrong_netlist_caught() {
+        let sg = build_state_graph(&parse_g(CELEM).unwrap()).unwrap();
+        // Drive b with a1 AND NOT a2 — wrong.
+        let mut nl = Netlist::new(sg.signals().to_vec());
+        let a1 = nl.add(Node::SignalRef(SignalId(0)));
+        let a2 = nl.add(Node::SignalRef(SignalId(1)));
+        let na2 = nl.add(Node::Gate(GateType::Inv, vec![a2]));
+        let and = nl.add(Node::Gate(GateType::And2, vec![a1, na2]));
+        let b = sg.signal_by_name("b").unwrap();
+        nl.set_driver(b, and).unwrap();
+        let ms = check_against_sg(&sg, &nl);
+        assert!(!ms.is_empty());
+        assert!(verify_against_sg(&sg, &nl).is_err());
+    }
+
+    #[test]
+    fn undriven_signal_caught() {
+        let sg = build_state_graph(&parse_g(CELEM).unwrap()).unwrap();
+        let nl = Netlist::new(sg.signals().to_vec());
+        assert!(verify_complete(&sg, &nl).is_err());
+        // But an empty netlist trivially passes value checks.
+        assert!(check_against_sg(&sg, &nl).is_empty());
+    }
+}

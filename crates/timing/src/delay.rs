@@ -1,0 +1,142 @@
+//! Per-event delay models.
+//!
+//! The paper uses two models: Table 1/2 assign *input events* a delay of
+//! 2 time units and all other events 1 unit; the PAR case study
+//! (footnote 1) uses combinational gate = 1, sequential gate = 1.5 and
+//! input event = 3, with an output event costing its mapped network
+//! delay. Delays are stored as integer *ticks* (`ticks_per_unit` per
+//! time unit) so the simulator stays exact.
+
+use reshuffle_petri::{Stg, TransitionId};
+
+/// Fixed per-transition delays in integer ticks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayModel {
+    ticks: Vec<u64>,
+    ticks_per_unit: u64,
+}
+
+impl DelayModel {
+    /// Builds a model from a per-transition delay function in *time
+    /// units*; delays are quantized to `ticks_per_unit` ticks per unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delay is negative or not representable on the tick
+    /// grid (e.g. 1.5 with `ticks_per_unit = 1`).
+    pub fn from_fn(
+        stg: &Stg,
+        ticks_per_unit: u64,
+        f: impl Fn(&Stg, TransitionId) -> f64,
+    ) -> DelayModel {
+        assert!(ticks_per_unit > 0);
+        let ticks = stg
+            .transitions()
+            .map(|t| {
+                let d = f(stg, t);
+                assert!(d >= 0.0, "negative delay for {}", stg.transition_name(t));
+                let scaled = d * ticks_per_unit as f64;
+                let r = scaled.round();
+                assert!(
+                    (scaled - r).abs() < 1e-9,
+                    "delay {d} for {} not representable with {ticks_per_unit} ticks/unit",
+                    stg.transition_name(t)
+                );
+                r as u64
+            })
+            .collect();
+        DelayModel {
+            ticks,
+            ticks_per_unit,
+        }
+    }
+
+    /// The Table 1/2 model: `input_delay` units for input-signal events,
+    /// `other_delay` for everything else (outputs, internal, dummies).
+    pub fn uniform(stg: &Stg, input_delay: f64, other_delay: f64) -> DelayModel {
+        DelayModel::from_fn(stg, 2, |g, t| {
+            if g.is_input_transition(t) {
+                input_delay
+            } else {
+                other_delay
+            }
+        })
+    }
+
+    /// Delay of transition `t` in ticks.
+    pub fn ticks(&self, t: TransitionId) -> u64 {
+        self.ticks[t.index()]
+    }
+
+    /// Ticks per time unit (for converting back to units).
+    pub fn ticks_per_unit(&self) -> u64 {
+        self.ticks_per_unit
+    }
+
+    /// Converts ticks back to time units.
+    pub fn to_units(&self, ticks: u64) -> f64 {
+        ticks as f64 / self.ticks_per_unit as f64
+    }
+
+    /// Number of transitions covered.
+    pub fn len(&self) -> usize {
+        self.ticks.len()
+    }
+
+    /// True if the model covers no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+
+    const SRC: &str = "\
+.model m
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn uniform_model_classifies_events() {
+        let stg = parse_g(SRC).unwrap();
+        let m = DelayModel::uniform(&stg, 2.0, 1.0);
+        let ap = stg.transition_by_label("a+").unwrap();
+        let bp = stg.transition_by_label("b+").unwrap();
+        assert_eq!(m.to_units(m.ticks(ap)), 2.0);
+        assert_eq!(m.to_units(m.ticks(bp)), 1.0);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn half_unit_delays_representable() {
+        let stg = parse_g(SRC).unwrap();
+        let m = DelayModel::from_fn(&stg, 2, |g, t| {
+            if g.is_input_transition(t) {
+                3.0
+            } else {
+                1.5
+            }
+        });
+        let bp = stg.transition_by_label("b+").unwrap();
+        assert_eq!(m.ticks(bp), 3);
+        assert_eq!(m.to_units(m.ticks(bp)), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn unrepresentable_delay_panics() {
+        let stg = parse_g(SRC).unwrap();
+        let _ = DelayModel::from_fn(&stg, 1, |_, _| 0.3);
+    }
+}

@@ -1,0 +1,446 @@
+//! Timed discrete-event simulation of STGs and critical-cycle analysis.
+//!
+//! Each transition fires a fixed delay after it becomes enabled (the
+//! last of its input tokens arrives). With deterministic delays the
+//! execution reaches a periodic steady state; the *critical cycle* is
+//! recovered by tracing, from a firing deep in the steady state, the
+//! chain of "last-arriving token" causes back one period. Its length is
+//! the paper's `cr.cycle` column; the number of input events on it is
+//! `inp.events`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use reshuffle_petri::{Marking, PetriError, Stg, TransitionId};
+
+use crate::delay::DelayModel;
+
+/// Errors from timed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// The STG deadlocks (no enabled transitions).
+    Deadlock {
+        /// Time of the deadlock in ticks.
+        at_ticks: u64,
+    },
+    /// No periodic steady state within the firing budget.
+    NoPeriodicity {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// The steady state has period zero (a zero-delay cycle).
+    ZeroPeriod,
+    /// Token-game error (unsafe net, etc.).
+    Petri(PetriError),
+    /// The causal trace failed to close a cycle (internal error).
+    TraceFailed(String),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::Deadlock { at_ticks } => {
+                write!(f, "STG deadlocks at t={at_ticks} ticks")
+            }
+            TimingError::NoPeriodicity { budget } => {
+                write!(f, "no periodic steady state within {budget} firings")
+            }
+            TimingError::ZeroPeriod => write!(f, "zero-delay critical cycle"),
+            TimingError::Petri(e) => write!(f, "{e}"),
+            TimingError::TraceFailed(m) => write!(f, "critical-cycle trace failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+impl From<PetriError> for TimingError {
+    fn from(e: PetriError) -> Self {
+        TimingError::Petri(e)
+    }
+}
+
+/// Result of a timed run.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Steady-state period in time units (the critical cycle length).
+    pub period: f64,
+    /// The events of one period of the critical cycle, in firing order.
+    pub cycle: Vec<TransitionId>,
+    /// Number of input-signal events on the critical cycle.
+    pub input_events_on_cycle: usize,
+    /// Total firings simulated before periodicity was detected.
+    pub firings: usize,
+}
+
+/// Options for the simulator.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Maximum number of firings before giving up on periodicity.
+    pub max_firings: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_firings: 200_000 }
+    }
+}
+
+/// One firing record for causal tracing.
+#[derive(Debug, Clone, Copy)]
+struct Firing {
+    transition: TransitionId,
+    time: u64,
+    /// Index of the firing that produced the last-arriving input token
+    /// (`usize::MAX` for initially-marked enabling).
+    cause: usize,
+}
+
+/// Simulates `stg` under `delays` until the configuration repeats.
+///
+/// # Errors
+///
+/// See [`TimingError`]; notably deadlocks and non-periodic behaviour
+/// within the budget are reported rather than looping forever.
+pub fn simulate(stg: &Stg, delays: &DelayModel, opts: &SimOptions) -> Result<TimedRun, TimingError> {
+    let net = stg.net();
+    let mut marking = stg.initial_marking();
+    // Arrival time and producing firing of the token in each place.
+    let n_places = net.num_places();
+    let mut token_time: Vec<u64> = vec![0; n_places];
+    let mut token_cause: Vec<usize> = vec![usize::MAX; n_places];
+
+    // Scheduled firings: (fire_time, seq, transition, cause).
+    // `scheduled[t]` guards against duplicates; entries are revalidated
+    // against the current marking when popped (lazy cancellation).
+    let mut heap: BinaryHeap<Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+    let mut sched_cause: Vec<usize> = vec![usize::MAX; net.num_transitions()];
+    let mut scheduled: Vec<bool> = vec![false; net.num_transitions()];
+    let mut seq = 0u32;
+
+    let schedule =
+        |heap: &mut BinaryHeap<Reverse<(u64, u32, u32)>>,
+         scheduled: &mut Vec<bool>,
+         sched_cause: &mut Vec<usize>,
+         seq: &mut u32,
+         marking: &Marking,
+         token_time: &Vec<u64>,
+         token_cause: &Vec<usize>,
+         t: TransitionId| {
+            if scheduled[t.index()] || !marking.enables(net, t) {
+                return;
+            }
+            // Enabling time = max arrival over preset tokens.
+            let mut when = 0u64;
+            let mut cause = usize::MAX;
+            for &p in net.preset(t) {
+                let at = token_time[p.index()];
+                if at >= when {
+                    when = at;
+                    cause = token_cause[p.index()];
+                }
+            }
+            let fire_at = when + delays_ticks(delays, t);
+            heap.push(Reverse((fire_at, *seq, t.0)));
+            *seq += 1;
+            scheduled[t.index()] = true;
+            sched_cause[t.index()] = cause;
+        };
+
+    fn delays_ticks(d: &DelayModel, t: TransitionId) -> u64 {
+        d.ticks(t)
+    }
+
+    for t in net.transitions() {
+        schedule(
+            &mut heap,
+            &mut scheduled,
+            &mut sched_cause,
+            &mut seq,
+            &marking,
+            &token_time,
+            &token_cause,
+            t,
+        );
+    }
+
+    let mut firings: Vec<Firing> = Vec::new();
+    // Configuration hash -> (firing index, time) for periodicity.
+    let mut seen: HashMap<u64, (usize, u64)> = HashMap::new();
+    let mut now = 0u64;
+
+    loop {
+        if firings.len() >= opts.max_firings {
+            return Err(TimingError::NoPeriodicity {
+                budget: opts.max_firings,
+            });
+        }
+        let Some(Reverse((fire_at, _, t_raw))) = heap.pop() else {
+            return Err(TimingError::Deadlock { at_ticks: now });
+        };
+        let t = TransitionId(t_raw);
+        scheduled[t.index()] = false;
+        // Lazy cancellation: the marking may have changed since this
+        // entry was scheduled (choice resolved another way).
+        if !marking.enables(net, t) {
+            continue;
+        }
+        // Recompute enabling; if a token arrived later than when this
+        // entry was scheduled, reschedule at the correct time.
+        let mut when = 0u64;
+        let mut cause = usize::MAX;
+        for &p in net.preset(t) {
+            let at = token_time[p.index()];
+            if at >= when {
+                when = at;
+                cause = token_cause[p.index()];
+            }
+        }
+        let true_fire = when + delays.ticks(t);
+        if true_fire > fire_at {
+            heap.push(Reverse((true_fire, seq, t.0)));
+            seq += 1;
+            scheduled[t.index()] = true;
+            sched_cause[t.index()] = cause;
+            continue;
+        }
+        now = fire_at;
+        let idx = firings.len();
+        firings.push(Firing {
+            transition: t,
+            time: now,
+            cause,
+        });
+        marking = marking.fire(net, t)?;
+        for &p in net.postset(t) {
+            token_time[p.index()] = now;
+            token_cause[p.index()] = idx;
+        }
+        // Schedule newly enabled transitions: consumers of produced
+        // tokens (and re-check consumers of consumed places are handled
+        // lazily).
+        for &p in net.postset(t) {
+            for &u in net.consumers(p) {
+                schedule(
+                    &mut heap,
+                    &mut scheduled,
+                    &mut sched_cause,
+                    &mut seq,
+                    &marking,
+                    &token_time,
+                    &token_cause,
+                    u,
+                );
+            }
+        }
+
+        // Periodicity: hash (marking, pending pattern relative to now).
+        let cfg = config_hash(stg, &marking, &token_time, now, t);
+        if let Some(&(prev_idx, prev_time)) = seen.get(&cfg) {
+            let period_ticks = now - prev_time;
+            if period_ticks == 0 {
+                return Err(TimingError::ZeroPeriod);
+            }
+            return finish(stg, delays, &firings, prev_idx, idx, period_ticks);
+        }
+        seen.insert(cfg, (idx, now));
+    }
+}
+
+/// Hash of the timing configuration after a firing: the marking, which
+/// transition just fired, and the *relative ages* of all tokens.
+fn config_hash(stg: &Stg, marking: &Marking, token_time: &[u64], now: u64, fired: TransitionId) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    fired.0.hash(&mut h);
+    for p in stg.places() {
+        let m = marking.contains(p);
+        m.hash(&mut h);
+        if m {
+            (now - token_time[p.index()]).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Builds the run report by tracing the causal chain back one period
+/// from the recurrence point.
+fn finish(
+    stg: &Stg,
+    delays: &DelayModel,
+    firings: &[Firing],
+    _prev_idx: usize,
+    last_idx: usize,
+    period_ticks: u64,
+) -> Result<TimedRun, TimingError> {
+    // Walk the cause chain backwards from the last firing, recording
+    // positions; stop when the same transition recurs exactly one (or k)
+    // period(s) earlier — that segment is the critical cycle.
+    let mut chain: Vec<usize> = Vec::new();
+    let mut pos_of: HashMap<(u32, u64), usize> = HashMap::new(); // (transition, time % period)
+    let mut cur = last_idx;
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > firings.len() + 2 {
+            return Err(TimingError::TraceFailed(
+                "cause chain exceeded firing count".into(),
+            ));
+        }
+        let f = firings[cur];
+        let key = (f.transition.0, f.time % period_ticks);
+        if let Some(&start) = pos_of.get(&key) {
+            // chain[start..] is the cycle (walked backwards).
+            let cycle_idx: Vec<usize> = chain[start..].to_vec();
+            let k = {
+                let t_late = firings[chain[start]].time;
+                let t_early = f.time;
+                let diff = t_late - t_early;
+                if diff == 0 || diff % period_ticks != 0 {
+                    return Err(TimingError::TraceFailed(format!(
+                        "cycle closes over {diff} ticks, period {period_ticks}"
+                    )));
+                }
+                diff / period_ticks
+            };
+            let mut events: Vec<TransitionId> = cycle_idx
+                .iter()
+                .rev()
+                .map(|&i| firings[i].transition)
+                .collect();
+            // Keep exactly one period's worth when the chain wrapped k>1
+            // periods (each period contributes the same event multiset).
+            let per_period = events.len() / k as usize;
+            events.truncate(per_period);
+            let inputs = events
+                .iter()
+                .filter(|&&t| stg.is_input_transition(t))
+                .count();
+            return Ok(TimedRun {
+                period: delays.to_units(period_ticks),
+                cycle: events,
+                input_events_on_cycle: inputs,
+                firings: firings.len(),
+            });
+        }
+        pos_of.insert(key, chain.len());
+        chain.push(cur);
+        if f.cause == usize::MAX {
+            return Err(TimingError::TraceFailed(
+                "cause chain reached the initial marking before closing a cycle".into(),
+            ));
+        }
+        cur = f.cause;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+
+    const HANDSHAKE: &str = "\
+.model hs
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    #[test]
+    fn sequential_handshake_period() {
+        let stg = parse_g(HANDSHAKE).unwrap();
+        let delays = DelayModel::uniform(&stg, 2.0, 1.0);
+        let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
+        // Cycle a+ b+ a- b-: 2+1+2+1 = 6 units, 2 input events.
+        assert_eq!(run.period, 6.0);
+        assert_eq!(run.input_events_on_cycle, 2);
+        assert_eq!(run.cycle.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_branches_take_max() {
+        // Fork into two parallel chains of different lengths, join.
+        let src = "\
+.model fork
+.inputs a
+.outputs b c d
+.graph
+a+ b+ c+
+c+ d+
+b+ a-
+d+ a-
+a- b- c-
+c- d-
+b- a+
+d- a+
+.marking { <b-,a+> <d-,a+> }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let delays = DelayModel::uniform(&stg, 2.0, 1.0);
+        let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
+        // Upper path a+ b+ a- b-: 6; lower a+ c+ d+ a- c- d-: 8.
+        // Critical cycle is the lower: 2+1+1+2+1+1 = 8, 2 inputs.
+        assert_eq!(run.period, 8.0);
+        assert_eq!(run.input_events_on_cycle, 2);
+        assert_eq!(run.cycle.len(), 6);
+    }
+
+    #[test]
+    fn zero_delay_outputs() {
+        // Wire-implemented outputs (delay 0): only input delays count.
+        let stg = parse_g(HANDSHAKE).unwrap();
+        let delays = DelayModel::from_fn(&stg, 2, |g, t| {
+            if g.is_input_transition(t) {
+                2.0
+            } else {
+                0.0
+            }
+        });
+        let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
+        assert_eq!(run.period, 4.0);
+        assert_eq!(run.input_events_on_cycle, 2);
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        // One-shot pipeline: after a+ then b+ the net is stuck.
+        let src = "\
+.model dead
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+b+ p1
+.marking { p0 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let delays = DelayModel::uniform(&stg, 1.0, 1.0);
+        let e = simulate(&stg, &delays, &SimOptions::default()).unwrap_err();
+        assert!(matches!(e, TimingError::Deadlock { .. }), "{e}");
+    }
+
+    #[test]
+    fn half_tick_delays() {
+        let stg = parse_g(HANDSHAKE).unwrap();
+        let delays = DelayModel::from_fn(&stg, 2, |g, t| {
+            if g.is_input_transition(t) {
+                3.0
+            } else {
+                1.5
+            }
+        });
+        let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
+        assert_eq!(run.period, 9.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace root crate for the `reshuffle` reproduction.
+//!
+//! This crate exists only to host cross-crate integration tests (in
+//! `tests/`) and runnable examples (in `examples/`). All functionality
+//! lives in the `reshuffle-*` member crates; start with the [`reshuffle`]
+//! core crate.
+
+pub use reshuffle as core_api;
