@@ -1,1 +1,25 @@
-fn main() {}
+//! The fork/join PAR component: concurrency diamonds in the state
+//! graph, the workload concurrency reduction will later optimize.
+
+use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle_bench::{examples, report, BenchOptions};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::{build_state_graph, conc};
+
+fn main() {
+    let opts = BenchOptions::smoke_or_default();
+
+    let stg = parse_g(examples::PAR_G).unwrap();
+    report("par/state_graph", &opts, || {
+        build_state_graph(&stg).unwrap()
+    });
+
+    let sg = build_state_graph(&stg).unwrap();
+    report("par/concurrent_pairs", &opts, || {
+        conc::concurrent_pairs(&sg)
+    });
+
+    report("par/synthesize", &opts, || {
+        synthesize_with(examples::PAR_G, &PipelineOptions::default()).unwrap()
+    });
+}

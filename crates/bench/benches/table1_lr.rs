@@ -1,1 +1,25 @@
-fn main() {}
+//! Table 1 flavor: the left/right handshake coupler, end to end.
+
+use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle_bench::{examples, report, BenchOptions};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::build_state_graph;
+use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+fn main() {
+    let opts = BenchOptions::smoke_or_default();
+
+    report("lr/parse", &opts, || parse_g(examples::LR_G).unwrap());
+
+    let stg = parse_g(examples::LR_G).unwrap();
+    report("lr/state_graph", &opts, || build_state_graph(&stg).unwrap());
+
+    report("lr/synthesize", &opts, || {
+        synthesize_with(examples::LR_G, &PipelineOptions::default()).unwrap()
+    });
+
+    let delays = DelayModel::uniform(&stg, 2.0, 1.0);
+    report("lr/timed_sim", &opts, || {
+        simulate(&stg, &delays, &SimOptions::default()).unwrap()
+    });
+}

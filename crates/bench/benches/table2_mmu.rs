@@ -1,1 +1,27 @@
-fn main() {}
+//! Table 2 flavor: the MMU stand-in pipeline, end to end.
+
+use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle_bench::{examples, report, BenchOptions};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::build_state_graph;
+use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+fn main() {
+    let opts = BenchOptions::smoke_or_default();
+
+    report("mmu/parse", &opts, || parse_g(examples::MMU_G).unwrap());
+
+    let stg = parse_g(examples::MMU_G).unwrap();
+    report("mmu/state_graph", &opts, || {
+        build_state_graph(&stg).unwrap()
+    });
+
+    report("mmu/synthesize", &opts, || {
+        synthesize_with(examples::MMU_G, &PipelineOptions::default()).unwrap()
+    });
+
+    let delays = DelayModel::uniform(&stg, 2.0, 1.0);
+    report("mmu/timed_sim", &opts, || {
+        simulate(&stg, &delays, &SimOptions::default()).unwrap()
+    });
+}

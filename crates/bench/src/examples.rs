@@ -1,0 +1,143 @@
+//! Shared `.g` sources for benches and the `tables` binary.
+//!
+//! The paper's Tables 1 and 2 report literal counts and cycle metrics
+//! for a suite of controllers. The original benchmark `.g` files are
+//! not redistributable here, so these are structurally faithful
+//! stand-ins: a toggle, the xyz pipeline cell, a left/right handshake
+//! coupler (Table 1 flavor), a deeper sequential pipeline standing in
+//! for the MMU controller (Table 2 flavor), and a fork/join PAR
+//! component that exercises real concurrency in the state graph.
+
+/// Two-signal toggle: the smallest closed handshake.
+pub const TOGGLE_G: &str = "\
+.model toggle
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+/// The xyz example: a three-signal micropipeline cell with distinct
+/// state codes (6 states, CSC-clean).
+pub const XYZ_G: &str = "\
+.model xyz
+.inputs x
+.outputs y z
+.graph
+x+ y+
+y+ z+
+z+ x-
+x- y-
+y- z-
+z- x+
+.marking { <z-,x+> }
+.end
+";
+
+/// Left/right handshake coupler: a passive/active four-phase converter
+/// (8 states, CSC-clean). Table 1 flavor.
+pub const LR_G: &str = "\
+.model lr
+.inputs lr ra
+.outputs la rr
+.graph
+lr+ rr+
+rr+ ra+
+ra+ la+
+la+ lr-
+lr- rr-
+rr- ra-
+ra- la-
+la- lr+
+.marking { <la-,lr+> }
+.end
+";
+
+/// Five-signal sequential pipeline: a stand-in for the paper's MMU
+/// controller at a similar state count (10 states, CSC-clean).
+/// Table 2 flavor.
+pub const MMU_G: &str = "\
+.model mmu
+.inputs x
+.outputs y1 y2 y3 y4
+.graph
+x+ y1+
+y1+ y2+
+y2+ y3+
+y3+ y4+
+y4+ x-
+x- y1-
+y1- y2-
+y2- y3-
+y3- y4-
+y4- x+
+.marking { <y4-,x+> }
+.end
+";
+
+/// Fork/join PAR component: `go` forks two concurrent request/ack
+/// branches that rejoin on `done` — real concurrency diamonds in the
+/// state graph.
+pub const PAR_G: &str = "\
+.model par
+.inputs go a1 a2
+.outputs r1 r2 done
+.graph
+go+ r1+ r2+
+r1+ a1+
+r2+ a2+
+a1+ done+
+a2+ done+
+done+ go-
+go- r1- r2-
+r1- a1-
+r2- a2-
+a1- done-
+a2- done-
+done- go+
+.marking { <done-,go+> }
+.end
+";
+
+/// Every example, with its name: the rows of the `tables` report.
+pub const ALL: &[(&str, &str)] = &[
+    ("toggle", TOGGLE_G),
+    ("xyz", XYZ_G),
+    ("lr", LR_G),
+    ("mmu", MMU_G),
+    ("par", PAR_G),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+    use reshuffle_sg::{build_state_graph, csc::analyze_csc};
+
+    #[test]
+    fn all_examples_parse_build_and_have_csc() {
+        for (name, src) in ALL {
+            let stg = parse_g(src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+            let sg = build_state_graph(&stg)
+                .unwrap_or_else(|e| panic!("{name}: state graph failed: {e}"));
+            assert!(sg.num_states() >= 4, "{name}: degenerate state graph");
+            assert!(
+                analyze_csc(&sg).has_csc(),
+                "{name}: bench examples must be CSC-clean"
+            );
+        }
+    }
+
+    #[test]
+    fn par_component_has_concurrency() {
+        let sg = build_state_graph(&parse_g(PAR_G).unwrap()).unwrap();
+        // Fork/join of two 2-event branches: strictly more states than
+        // the longest single path through the net.
+        assert!(sg.num_states() > 12, "got {}", sg.num_states());
+    }
+}

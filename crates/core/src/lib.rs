@@ -1,1 +1,347 @@
-//! (under construction)
+//! End-to-end facade for the `reshuffle` workspace.
+//!
+//! This crate ties the member crates of the DAC 1999 reproduction —
+//! *Automatic Synthesis and Optimization of Partially Specified
+//! Asynchronous Systems* — into one pipeline:
+//!
+//! 1. parse an astg (`.g`) specification ([`petri`]);
+//! 2. build the binary-encoded state graph ([`sg`]);
+//! 3. check speed independence and Complete State Coding ([`sg`]);
+//! 4. resolve CSC conflicts by state-signal insertion when needed
+//!    ([`synth`]);
+//! 5. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
+//! 6. verify the mapped netlist against the specification ([`synth`]).
+//!
+//! The one-call entry point is [`synthesize`]; [`synthesize_with`]
+//! exposes the intermediate artifacts and the knobs.
+//!
+//! # Example
+//!
+//! ```
+//! // The xyz example: a 3-signal cycle with distinct state codes.
+//! let netlist = reshuffle::synthesize(
+//!     ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+//!      x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+//!      .marking { <z-,x+> }\n.end\n",
+//! )?;
+//! assert_eq!(netlist.signals().len(), 3);
+//! # Ok::<(), reshuffle::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Petri nets, STGs, `.g` parsing ([`reshuffle_petri`]).
+pub use reshuffle_petri as petri;
+
+/// Two-level logic and factoring ([`reshuffle_logic`]).
+pub use reshuffle_logic as logic;
+
+/// State graphs and coding analyses ([`reshuffle_sg`]).
+pub use reshuffle_sg as sg;
+
+/// Logic synthesis back-end ([`reshuffle_synth`]).
+pub use reshuffle_synth as synth;
+
+/// Timed simulation and cycle analysis ([`reshuffle_timing`]).
+pub use reshuffle_timing as timing;
+
+/// Handshake expansion of partial specifications ([`reshuffle_handshake`]).
+pub use reshuffle_handshake as handshake;
+
+/// Concurrency reduction ([`reshuffle_reduce`]).
+pub use reshuffle_reduce as reduce;
+
+pub use reshuffle_petri::{parse_g, PetriError, Stg};
+pub use reshuffle_sg::{build_state_graph, SgError, StateGraph};
+pub use reshuffle_synth::{CscOptions, Library, Netlist, SynthError};
+pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
+
+/// Errors from the end-to-end pipeline, tagged by the failing stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The `.g` source failed to parse or violated the token game.
+    Parse(PetriError),
+    /// State-graph construction failed (inconsistent coding, budget, …).
+    StateGraph(SgError),
+    /// The specification is not speed-independent (determinism,
+    /// commutativity, or output persistency is violated).
+    NotSpeedIndependent {
+        /// Total number of violation witnesses found.
+        violations: usize,
+    },
+    /// Logic synthesis or CSC resolution failed.
+    Synth(SynthError),
+    /// Timed analysis failed.
+    Timing(TimingError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::StateGraph(e) => write!(f, "state graph: {e}"),
+            PipelineError::NotSpeedIndependent { violations } => write!(
+                f,
+                "specification is not speed-independent ({violations} violations)"
+            ),
+            PipelineError::Synth(e) => write!(f, "synthesis: {e}"),
+            PipelineError::Timing(e) => write!(f, "timing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::StateGraph(e) => Some(e),
+            PipelineError::NotSpeedIndependent { .. } => None,
+            PipelineError::Synth(e) => Some(e),
+            PipelineError::Timing(e) => Some(e),
+        }
+    }
+}
+
+impl From<PetriError> for PipelineError {
+    fn from(e: PetriError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<SgError> for PipelineError {
+    fn from(e: SgError) -> Self {
+        PipelineError::StateGraph(e)
+    }
+}
+
+impl From<SynthError> for PipelineError {
+    fn from(e: SynthError) -> Self {
+        PipelineError::Synth(e)
+    }
+}
+
+impl From<TimingError> for PipelineError {
+    fn from(e: TimingError) -> Self {
+        PipelineError::Timing(e)
+    }
+}
+
+/// Convenient result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, PipelineError>;
+
+/// Implementation style for the synthesized logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImplStyle {
+    /// One atomic complex gate per signal (the paper's Fig. 3(d)).
+    #[default]
+    ComplexGate,
+    /// Generalized C-element with set/reset networks (Fig. 3(c)).
+    GeneralizedC,
+}
+
+/// Knobs for [`synthesize_with`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Implementation style (complex gate by default).
+    pub style: ImplStyle,
+    /// CSC-resolution search parameters.
+    pub csc: CscOptions,
+    /// Skip the final implementation-vs-specification check.
+    pub skip_verify: bool,
+}
+
+/// Everything the pipeline produced, for callers that want more than
+/// the netlist.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The STG actually synthesized (after any CSC insertions).
+    pub stg: Stg,
+    /// Its state graph.
+    pub sg: StateGraph,
+    /// The mapped implementation.
+    pub netlist: Netlist,
+    /// Names of state signals inserted to resolve CSC.
+    pub inserted: Vec<String>,
+}
+
+/// Runs the full pipeline on `.g` source text and returns the mapped
+/// netlist.
+///
+/// Equivalent to [`synthesize_with`] under [`PipelineOptions::default`].
+///
+/// # Errors
+///
+/// Any stage failure, tagged by [`PipelineError`] variant.
+pub fn synthesize(g_source: &str) -> Result<Netlist> {
+    synthesize_with(g_source, &PipelineOptions::default()).map(|s| s.netlist)
+}
+
+/// Runs the full pipeline with explicit options, returning every
+/// intermediate artifact.
+///
+/// # Errors
+///
+/// Any stage failure, tagged by [`PipelineError`] variant.
+pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthesis> {
+    synthesize_stg(&parse_g(g_source)?, opts)
+}
+
+/// Runs the pipeline on an already-parsed STG.
+///
+/// # Errors
+///
+/// Any stage failure, tagged by [`PipelineError`] variant.
+pub fn synthesize_stg(spec: &Stg, opts: &PipelineOptions) -> Result<Synthesis> {
+    let sg0 = build_state_graph(spec)?;
+    synthesize_stg_from(spec, sg0, opts)
+}
+
+/// [`synthesize_stg`] for callers that already built the
+/// specification's state graph (`sg0` must be the state graph of
+/// `spec`); avoids rebuilding the most expensive artifact.
+///
+/// # Errors
+///
+/// Any stage failure, tagged by [`PipelineError`] variant.
+pub fn synthesize_stg_from(
+    spec: &Stg,
+    sg0: StateGraph,
+    opts: &PipelineOptions,
+) -> Result<Synthesis> {
+    let si = reshuffle_sg::props::speed_independence(&sg0);
+    if !si.is_speed_independent() {
+        return Err(PipelineError::NotSpeedIndependent {
+            violations: si.nondeterminism.len()
+                + si.noncommutativity.len()
+                + si.nonpersistency.len(),
+        });
+    }
+
+    let (stg, sg, inserted) = if reshuffle_sg::csc::analyze_csc(&sg0).has_csc() {
+        (spec.clone(), sg0, Vec::new())
+    } else {
+        // Hand the already-built graph to the resolver rather than
+        // letting it rebuild the most expensive artifact.
+        let r = reshuffle_synth::resolve_csc_from(spec, sg0, &opts.csc)?;
+        (r.stg, r.sg, r.inserted)
+    };
+
+    let netlist = match opts.style {
+        ImplStyle::ComplexGate => reshuffle_synth::synthesize_complex_gates(&sg)?.netlist,
+        ImplStyle::GeneralizedC => reshuffle_synth::synthesize_gc(&sg)?.netlist,
+    };
+    if !opts.skip_verify {
+        reshuffle_synth::verify_against_sg(&sg, &netlist)?;
+    }
+    Ok(Synthesis {
+        stg,
+        sg,
+        netlist,
+        inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE_G: &str = "\
+.model toggle
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
+    const XYZ_G: &str = "\
+.model xyz
+.inputs x
+.outputs y z
+.graph
+x+ y+
+y+ z+
+z+ x-
+x- y-
+y- z-
+z- x+
+.marking { <z-,x+> }
+.end
+";
+
+    const FIG1_G: &str = "\
+.model fig1
+.inputs Req
+.outputs Ack
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn toggle_synthesizes_to_wire() {
+        let netlist = synthesize(TOGGLE_G).unwrap();
+        let b = netlist.signal_by_name("b").unwrap();
+        assert!(netlist.is_wire(b));
+    }
+
+    #[test]
+    fn xyz_full_pipeline() {
+        let s = synthesize_with(XYZ_G, &PipelineOptions::default()).unwrap();
+        assert_eq!(s.sg.num_states(), 6);
+        assert!(s.inserted.is_empty());
+        assert_eq!(s.netlist.signals().len(), 3);
+    }
+
+    #[test]
+    fn gc_style_also_verifies() {
+        let opts = PipelineOptions {
+            style: ImplStyle::GeneralizedC,
+            ..Default::default()
+        };
+        let s = synthesize_with(XYZ_G, &opts).unwrap();
+        assert_eq!(s.netlist.signals().len(), 3);
+    }
+
+    #[test]
+    fn csc_conflict_is_resolved_or_reported() {
+        // Fig. 1 violates CSC; the pipeline must either insert a state
+        // signal and verify, or report the stalled resolution — never
+        // silently synthesize conflicted logic.
+        match synthesize_with(FIG1_G, &PipelineOptions::default()) {
+            Ok(s) => assert!(!s.inserted.is_empty()),
+            Err(PipelineError::Synth(SynthError::CscResolutionFailed { .. })) => {}
+            Err(e) => panic!("unexpected pipeline error: {e}"),
+        }
+    }
+
+    #[test]
+    fn non_speed_independent_spec_is_rejected() {
+        // A choice place where input a+ disables output b+: output
+        // persistency is violated, so the paper's flow must refuse it.
+        let nsi = ".model nsi\n.inputs a\n.outputs b\n.graph\n\
+             p0 a+ b+\na+ p1\nb+ p2\n.marking { p0 }\n.end\n";
+        match synthesize(nsi) {
+            Err(PipelineError::NotSpeedIndependent { violations }) => assert!(violations > 0),
+            other => panic!("expected SI rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_tagged() {
+        match synthesize(".model broken\n.end\n") {
+            Err(PipelineError::Parse(_)) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,1 +1,103 @@
-//! (under construction)
+//! Handshake expansion of partially specified STGs (DAC 1999, Sec. 3).
+//!
+//! A *partial specification* leaves the ordering between some handshake
+//! phases open (the paper's `a~` "toggle" events and unordered
+//! req/ack pairs). Handshake expansion enumerates the legal
+//! *reshufflings* — complete STGs that refine the partial order — so
+//! that the synthesis flow can pick the one with the best logic or
+//! cycle time.
+//!
+//! This crate is the typed skeleton for that search: the entry points
+//! and result shapes are final, the algorithms return
+//! [`HandshakeError::Unimplemented`] until a later PR lands them.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use reshuffle_petri::Stg;
+
+/// Errors from handshake expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The requested feature is not implemented yet.
+    Unimplemented {
+        /// The missing feature, for error messages.
+        feature: &'static str,
+    },
+    /// The specification is not partial (nothing to expand).
+    NotPartial,
+}
+
+impl fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HandshakeError::Unimplemented { feature } => {
+                write!(f, "handshake expansion: `{feature}` is not implemented yet")
+            }
+            HandshakeError::NotPartial => {
+                write!(f, "specification is complete; nothing to expand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, HandshakeError>;
+
+/// Limits on the reshuffling enumeration.
+#[derive(Debug, Clone)]
+pub struct ExpansionOptions {
+    /// Maximum number of reshufflings to enumerate before truncating.
+    pub max_reshufflings: usize,
+}
+
+impl Default for ExpansionOptions {
+    fn default() -> Self {
+        ExpansionOptions {
+            max_reshufflings: 64,
+        }
+    }
+}
+
+/// One complete refinement of a partial specification.
+#[derive(Debug, Clone)]
+pub struct Reshuffling {
+    /// The expanded, fully specified STG.
+    pub stg: Stg,
+    /// Human-readable description of the ordering choices made.
+    pub choices: Vec<String>,
+}
+
+/// Enumerates the legal handshake reshufflings of a partial
+/// specification.
+///
+/// # Errors
+///
+/// Currently always [`HandshakeError::Unimplemented`]; later PRs will
+/// return [`HandshakeError::NotPartial`] for complete inputs.
+pub fn expand_handshakes(_stg: &Stg, _opts: &ExpansionOptions) -> Result<Vec<Reshuffling>> {
+    Err(HandshakeError::Unimplemented {
+        feature: "reshuffling enumeration",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+
+    #[test]
+    fn expansion_is_honestly_unimplemented() {
+        let stg = parse_g(
+            ".model t\n.inputs a\n.outputs b\n.graph\n\
+             a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let err = expand_handshakes(&stg, &ExpansionOptions::default()).unwrap_err();
+        assert!(matches!(err, HandshakeError::Unimplemented { .. }));
+        assert!(err.to_string().contains("not implemented"));
+    }
+}

@@ -200,11 +200,7 @@ impl fmt::Display for Cover {
         if self.cubes.is_empty() {
             return write!(f, "0");
         }
-        let parts: Vec<String> = self
-            .cubes
-            .iter()
-            .map(|c| c.render(self.num_vars))
-            .collect();
+        let parts: Vec<String> = self.cubes.iter().map(|c| c.render(self.num_vars)).collect();
         write!(f, "{}", parts.join(" + "))
     }
 }

@@ -179,10 +179,10 @@ impl Cube {
             return "1".to_string();
         }
         let mut parts = Vec::new();
-        for i in 0..names.len().min(MAX_VARS) {
+        for (i, name) in names.iter().take(MAX_VARS).enumerate() {
             match self.get(i) {
-                Some(true) => parts.push(names[i].clone()),
-                Some(false) => parts.push(format!("{}'", names[i])),
+                Some(true) => parts.push(name.clone()),
+                Some(false) => parts.push(format!("{name}'")),
                 None => {}
             }
         }

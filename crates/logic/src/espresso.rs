@@ -235,7 +235,9 @@ mod tests {
         // exactly when dc is empty.
         let mut seed = 0x2545F4914F6CDD1Du64;
         for trial in 0..25 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let nv = 3 + (trial % 3);
             let mut on_codes = Vec::new();
             for m in 0..(1u64 << nv) {
@@ -245,10 +247,7 @@ mod tests {
             }
             let on = Cover::from_minterms(nv as usize, &on_codes);
             let r = minimize(&on, &Cover::empty(nv as usize));
-            assert!(
-                cover_equal(&r, &on),
-                "trial {trial}: {on} != {r} (nv={nv})"
-            );
+            assert!(cover_equal(&r, &on), "trial {trial}: {on} != {r} (nv={nv})");
             assert!(cost(&r) <= cost(&on));
         }
     }

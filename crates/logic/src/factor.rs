@@ -151,10 +151,7 @@ fn factor_cubes(cubes: &[Cube]) -> Expr {
     let mut best: Option<(usize, bool, usize)> = None; // (var, phase, count)
     for phase in [true, false] {
         for v in 0..crate::cube::MAX_VARS {
-            let count = cubes
-                .iter()
-                .filter(|c| c.get(v) == Some(phase))
-                .count();
+            let count = cubes.iter().filter(|c| c.get(v) == Some(phase)).count();
             if count >= 2 && best.map(|(_, _, bc)| count > bc).unwrap_or(true) {
                 best = Some((v, phase, count));
             }

@@ -93,9 +93,7 @@ pub fn exact_minimize(num_vars: usize, on: &[u64], dc: &[u64]) -> Cover {
             let Some(mi) = next else {
                 let better = match &self.best {
                     None => true,
-                    Some((bc, bl, _)) => {
-                        chosen.len() < *bc || (chosen.len() == *bc && lits < *bl)
-                    }
+                    Some((bc, bl, _)) => chosen.len() < *bc || (chosen.len() == *bc && lits < *bl),
                 };
                 if better {
                     self.best = Some((chosen.len(), lits, chosen.clone()));

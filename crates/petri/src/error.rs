@@ -50,7 +50,9 @@ impl fmt::Display for PetriError {
             }
             PetriError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             PetriError::UnknownName(n) => write!(f, "unknown name `{n}`"),
-            PetriError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            PetriError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             PetriError::Structural(m) => write!(f, "structural transformation error: {m}"),
         }
     }

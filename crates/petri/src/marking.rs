@@ -83,7 +83,9 @@ impl Marking {
 
     /// All transitions of `net` enabled in this marking.
     pub fn enabled_transitions(&self, net: &PetriNet) -> Vec<TransitionId> {
-        net.transitions().filter(|&t| self.enables(net, t)).collect()
+        net.transitions()
+            .filter(|&t| self.enables(net, t))
+            .collect()
     }
 
     /// Fires transition `t`, producing the successor marking.
@@ -202,10 +204,7 @@ mod tests {
         n.add_arc_pt(p0, a).unwrap();
         n.add_arc_tp(a, p1).unwrap();
         let m = Marking::with_tokens(2, &[p0, p1]);
-        assert!(matches!(
-            m.fire(&n, a),
-            Err(PetriError::UnsafePlace { .. })
-        ));
+        assert!(matches!(m.fire(&n, a), Err(PetriError::UnsafePlace { .. })));
     }
 
     #[test]

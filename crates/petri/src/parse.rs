@@ -186,7 +186,7 @@ pub fn parse_g(text: &str) -> Result<Stg> {
         match r.polarity {
             Some(_) => stg.signal_by_name(&r.base).map(|_| r),
             None => {
-                if dummies.iter().any(|d| *d == r.base) {
+                if dummies.contains(&r.base) {
                     Some(r)
                 } else {
                     None
@@ -203,40 +203,42 @@ pub fn parse_g(text: &str) -> Result<Stg> {
 
     for (lineno, toks) in &graph_lines {
         for tok in toks {
-            if let Some(r) = is_transition_text(&stg, &dummies, tok) {
-                let key = normalize(tok);
-                if !trans_map.contains_key(&key) {
-                    let t = match r.polarity {
-                        Some(pol) => {
-                            let s = stg.signal_by_name(&r.base).unwrap();
-                            let t = stg.add_edge_transition(s, pol);
-                            // Instance numbers in files may appear out of
-                            // order; keep file text as the display name.
-                            if stg.transition_name(t) != key {
-                                return Err(err(
-                                    *lineno,
-                                    format!(
-                                        "instance numbers for `{}` must appear in order \
-                                         (expected `{}`, found `{key}`)",
-                                        r.base,
-                                        stg.transition_name(t)
-                                    ),
-                                ));
-                            }
-                            t
-                        }
-                        None => {
-                            let name = if r.instance > 1 {
-                                format!("{}/{}", r.base, r.instance)
-                            } else {
-                                r.base.clone()
-                            };
-                            stg.add_dummy_transition(name)
-                        }
-                    };
-                    trans_map.insert(key, t);
-                }
+            let Some(r) = is_transition_text(&stg, &dummies, tok) else {
+                continue;
+            };
+            let key = normalize(tok);
+            if trans_map.contains_key(&key) {
+                continue;
             }
+            let t = match r.polarity {
+                Some(pol) => {
+                    let s = stg.signal_by_name(&r.base).unwrap();
+                    let t = stg.add_edge_transition(s, pol);
+                    // Instance numbers in files may appear out of
+                    // order; keep file text as the display name.
+                    if stg.transition_name(t) != key {
+                        return Err(err(
+                            *lineno,
+                            format!(
+                                "instance numbers for `{}` must appear in order \
+                                 (expected `{}`, found `{key}`)",
+                                r.base,
+                                stg.transition_name(t)
+                            ),
+                        ));
+                    }
+                    t
+                }
+                None => {
+                    let name = if r.instance > 1 {
+                        format!("{}/{}", r.base, r.instance)
+                    } else {
+                        r.base.clone()
+                    };
+                    stg.add_dummy_transition(name)
+                }
+            };
+            trans_map.insert(key, t);
         }
     }
 
@@ -247,9 +249,9 @@ pub fn parse_g(text: &str) -> Result<Stg> {
         P(PlaceId),
     }
     let resolve = |stg: &mut Stg,
-                       place_map: &mut HashMap<String, PlaceId>,
-                       trans_map: &HashMap<String, TransitionId>,
-                       tok: &str|
+                   place_map: &mut HashMap<String, PlaceId>,
+                   trans_map: &HashMap<String, TransitionId>,
+                   tok: &str|
      -> Node {
         let key = normalize(tok);
         if let Some(&t) = trans_map.get(&key) {
@@ -302,11 +304,7 @@ pub fn parse_g(text: &str) -> Result<Stg> {
             let b = trans_map
                 .get(&normalize(b.trim()))
                 .ok_or_else(|| err(*lineno, format!("unknown transition `{b}`")))?;
-            let name = format!(
-                "<{},{}>",
-                stg.transition_name(*a),
-                stg.transition_name(*b)
-            );
+            let name = format!("<{},{}>", stg.transition_name(*a), stg.transition_name(*b));
             *place_map
                 .get(&name)
                 .ok_or_else(|| err(*lineno, format!("no implicit place `{name}`")))?
@@ -375,7 +373,7 @@ b+/2 p1
 ";
         let g = parse_g(src).unwrap();
         assert!(g.transition_by_label("b+/2").is_some());
-        assert_eq!(g.net().place_by_name("p0").map(|p| p.index()).is_some(), true);
+        assert!(g.net().place_by_name("p0").is_some());
         let b = g.signal_by_name("b").unwrap();
         assert_eq!(g.transitions_of_signal(b).len(), 3);
     }

@@ -96,11 +96,7 @@ pub fn write_dot(stg: &Stg) -> String {
         } else {
             ""
         };
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape=box{style}];",
-            stg.transition_name(t)
-        );
+        let _ = writeln!(out, "  \"{}\" [shape=box{style}];", stg.transition_name(t));
     }
     let m0 = stg.initial_marking();
     for p in stg.places() {

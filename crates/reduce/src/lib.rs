@@ -1,1 +1,113 @@
-//! (under construction)
+//! Concurrency reduction of STGs (DAC 1999, Sec. 4).
+//!
+//! Reducing concurrency — serializing transitions that the
+//! specification allows in parallel — shrinks the state graph, often
+//! removes CSC conflicts without extra state signals, and trades cycle
+//! time for logic. The paper drives the search with the literal
+//! estimate of [`reshuffle_synth::literal_estimate`] and the timed
+//! cycle metrics of `reshuffle-timing`.
+//!
+//! This crate is the typed skeleton for that optimization loop: the
+//! entry points and result shapes are final, the algorithms return
+//! [`ReduceError::Unimplemented`] until a later PR lands them.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use reshuffle_petri::Stg;
+
+/// Errors from concurrency reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The requested feature is not implemented yet.
+    Unimplemented {
+        /// The missing feature, for error messages.
+        feature: &'static str,
+    },
+    /// No reduction satisfies the constraints (e.g. the cycle-time
+    /// bound).
+    NoFeasibleReduction,
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::Unimplemented { feature } => {
+                write!(
+                    f,
+                    "concurrency reduction: `{feature}` is not implemented yet"
+                )
+            }
+            ReduceError::NoFeasibleReduction => {
+                write!(f, "no concurrency reduction satisfies the constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, ReduceError>;
+
+/// Constraints and budgets for the reduction search.
+#[derive(Debug, Clone)]
+pub struct ReduceOptions {
+    /// Upper bound on the steady-state cycle time of the reduced STG
+    /// (`None` = unconstrained, minimize literals only).
+    pub max_cycle_time: Option<f64>,
+    /// Maximum number of serializing moves to apply.
+    pub max_moves: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions {
+            max_cycle_time: None,
+            max_moves: 16,
+        }
+    }
+}
+
+/// A concurrency-reduced refinement of the input STG.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced STG.
+    pub stg: Stg,
+    /// Serializing moves applied, in order, as human-readable strings.
+    pub moves: Vec<String>,
+    /// Literal estimate of the reduced specification.
+    pub literals: u32,
+}
+
+/// Searches for a concurrency reduction of `stg` that minimizes the
+/// literal estimate subject to `opts`.
+///
+/// # Errors
+///
+/// Currently always [`ReduceError::Unimplemented`]; later PRs will
+/// return [`ReduceError::NoFeasibleReduction`] when the constraints
+/// cannot be met.
+pub fn reduce_concurrency(_stg: &Stg, _opts: &ReduceOptions) -> Result<Reduction> {
+    Err(ReduceError::Unimplemented {
+        feature: "serializing-move search",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+
+    #[test]
+    fn reduction_is_honestly_unimplemented() {
+        let stg = parse_g(
+            ".model t\n.inputs a\n.outputs b\n.graph\n\
+             a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let err = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap_err();
+        assert!(matches!(err, ReduceError::Unimplemented { .. }));
+    }
+}

@@ -34,11 +34,7 @@ pub fn diamond_at(
 /// All unordered concurrent pairs of distinct edges appearing in the
 /// graph, sorted deterministically.
 pub fn concurrent_pairs(sg: &StateGraph) -> Vec<(SignalEdge, SignalEdge)> {
-    let mut edges: Vec<SignalEdge> = sg
-        .events()
-        .iter()
-        .filter_map(|e| e.edge)
-        .collect();
+    let mut edges: Vec<SignalEdge> = sg.events().iter().filter_map(|e| e.edge).collect();
     edges.sort_by_key(|e| (e.signal, e.polarity));
     edges.dedup();
     let mut out = Vec::new();

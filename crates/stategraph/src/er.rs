@@ -60,11 +60,7 @@ pub fn minimal_states(sg: &StateGraph, region: &BTreeSet<StateId>) -> Vec<StateI
     region
         .iter()
         .copied()
-        .filter(|&s| {
-            !pred[s as usize]
-                .iter()
-                .any(|&(_, p)| region.contains(&p))
-        })
+        .filter(|&s| !pred[s as usize].iter().any(|&(_, p)| region.contains(&p)))
         .collect()
 }
 

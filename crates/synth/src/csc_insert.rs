@@ -9,8 +9,8 @@
 //! construction, and strictly reduces the number of CSC conflicts.
 //! Candidates are ranked by (remaining conflicts, literal estimate).
 
-use reshuffle_petri::{Polarity, SignalKind, Stg, TransitionId};
 use reshuffle_petri::structural::insert_series_transition;
+use reshuffle_petri::{Polarity, SignalKind, Stg, TransitionId};
 use reshuffle_sg::csc::analyze_csc;
 use reshuffle_sg::props::speed_independence;
 use reshuffle_sg::{build_state_graph, StateGraph};
@@ -58,8 +58,20 @@ impl Default for CscOptions {
 /// * [`SynthError::CscResolutionFailed`] if no insertion reduces the
 ///   conflict count or the signal budget is exhausted.
 pub fn resolve_csc(stg: &Stg, opts: &CscOptions) -> Result<CscResolution> {
+    let sg = build_state_graph(stg)?;
+    resolve_csc_from(stg, sg, opts)
+}
+
+/// [`resolve_csc`] for callers that already built the specification's
+/// state graph (`sg` must be the state graph of `stg`); avoids
+/// rebuilding it, which dominates on concurrent specs.
+///
+/// # Errors
+///
+/// See [`resolve_csc`].
+pub fn resolve_csc_from(stg: &Stg, sg: StateGraph, opts: &CscOptions) -> Result<CscResolution> {
     let mut current = stg.clone();
-    let mut sg = build_state_graph(&current)?;
+    let mut sg = sg;
     let mut inserted: Vec<String> = Vec::new();
     loop {
         let conflicts = analyze_csc(&sg).num_csc_conflicts();

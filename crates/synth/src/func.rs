@@ -185,6 +185,6 @@ b- a1+ a2+
             assert_eq!(f.cover.covers_point(sg.code(s)), implied, "state {s}");
         }
         let est = literal_estimate(&sg);
-        assert!(est >= 4 && est <= 8, "{est}");
+        assert!((4..=8).contains(&est), "{est}");
     }
 }

@@ -170,10 +170,7 @@ impl Netlist {
             Node::SignalRef(s) => (code >> s.index()) & 1 == 1,
             Node::Const(b) => *b,
             Node::Gate(g, ins) => {
-                let vals: Vec<bool> = ins
-                    .iter()
-                    .map(|&i| self.eval_node(i, code, memo))
-                    .collect();
+                let vals: Vec<bool> = ins.iter().map(|&i| self.eval_node(i, code, memo)).collect();
                 match g {
                     GateType::Inv => !vals[0],
                     GateType::And2 => vals[0] && vals[1],

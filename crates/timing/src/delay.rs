@@ -121,13 +121,17 @@ b- a+
     #[test]
     fn half_unit_delays_representable() {
         let stg = parse_g(SRC).unwrap();
-        let m = DelayModel::from_fn(&stg, 2, |g, t| {
-            if g.is_input_transition(t) {
-                3.0
-            } else {
-                1.5
-            }
-        });
+        let m = DelayModel::from_fn(
+            &stg,
+            2,
+            |g, t| {
+                if g.is_input_transition(t) {
+                    3.0
+                } else {
+                    1.5
+                }
+            },
+        );
         let bp = stg.transition_by_label("b+").unwrap();
         assert_eq!(m.ticks(bp), 3);
         assert_eq!(m.to_units(m.ticks(bp)), 1.5);

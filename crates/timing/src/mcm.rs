@@ -14,9 +14,8 @@ use crate::delay::DelayModel;
 /// True if the underlying net is a marked graph (every place has exactly
 /// one producer and one consumer).
 pub fn is_marked_graph(stg: &Stg) -> bool {
-    stg.places().all(|p| {
-        stg.net().producers(p).len() == 1 && stg.net().consumers(p).len() == 1
-    })
+    stg.places()
+        .all(|p| stg.net().producers(p).len() == 1 && stg.net().consumers(p).len() == 1)
 }
 
 /// Computes the maximum cycle ratio (period, in time units) of a marked
@@ -184,7 +183,11 @@ b- a+
         let delays = DelayModel::uniform(&stg, 2.0, 1.0);
         let mcr = max_cycle_ratio(&stg, &delays).unwrap();
         let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
-        assert!((mcr - run.period).abs() < 1e-6, "mcr={mcr} sim={}", run.period);
+        assert!(
+            (mcr - run.period).abs() < 1e-6,
+            "mcr={mcr} sim={}",
+            run.period
+        );
     }
 
     #[test]
@@ -212,10 +215,7 @@ d- a+
         assert!((mcr - run.period).abs() < 1e-6);
         // Critical transitions: the longer branch a+ c+ d+ a- c- d-.
         let crit = critical_transitions(&stg, &delays);
-        let names: Vec<&str> = crit
-            .iter()
-            .map(|&t| stg.transition_name(t))
-            .collect();
+        let names: Vec<&str> = crit.iter().map(|&t| stg.transition_name(t)).collect();
         assert!(names.contains(&"c+"), "{names:?}");
         assert!(names.contains(&"d+"), "{names:?}");
     }

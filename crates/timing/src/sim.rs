@@ -83,7 +83,9 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_firings: 200_000 }
+        SimOptions {
+            max_firings: 200_000,
+        }
     }
 }
 
@@ -103,7 +105,11 @@ struct Firing {
 ///
 /// See [`TimingError`]; notably deadlocks and non-periodic behaviour
 /// within the budget are reported rather than looping forever.
-pub fn simulate(stg: &Stg, delays: &DelayModel, opts: &SimOptions) -> Result<TimedRun, TimingError> {
+pub fn simulate(
+    stg: &Stg,
+    delays: &DelayModel,
+    opts: &SimOptions,
+) -> Result<TimedRun, TimingError> {
     let net = stg.net();
     let mut marking = stg.initial_marking();
     // Arrival time and producing firing of the token in each place.
@@ -119,34 +125,33 @@ pub fn simulate(stg: &Stg, delays: &DelayModel, opts: &SimOptions) -> Result<Tim
     let mut scheduled: Vec<bool> = vec![false; net.num_transitions()];
     let mut seq = 0u32;
 
-    let schedule =
-        |heap: &mut BinaryHeap<Reverse<(u64, u32, u32)>>,
-         scheduled: &mut Vec<bool>,
-         sched_cause: &mut Vec<usize>,
-         seq: &mut u32,
-         marking: &Marking,
-         token_time: &Vec<u64>,
-         token_cause: &Vec<usize>,
-         t: TransitionId| {
-            if scheduled[t.index()] || !marking.enables(net, t) {
-                return;
+    let schedule = |heap: &mut BinaryHeap<Reverse<(u64, u32, u32)>>,
+                    scheduled: &mut Vec<bool>,
+                    sched_cause: &mut Vec<usize>,
+                    seq: &mut u32,
+                    marking: &Marking,
+                    token_time: &Vec<u64>,
+                    token_cause: &Vec<usize>,
+                    t: TransitionId| {
+        if scheduled[t.index()] || !marking.enables(net, t) {
+            return;
+        }
+        // Enabling time = max arrival over preset tokens.
+        let mut when = 0u64;
+        let mut cause = usize::MAX;
+        for &p in net.preset(t) {
+            let at = token_time[p.index()];
+            if at >= when {
+                when = at;
+                cause = token_cause[p.index()];
             }
-            // Enabling time = max arrival over preset tokens.
-            let mut when = 0u64;
-            let mut cause = usize::MAX;
-            for &p in net.preset(t) {
-                let at = token_time[p.index()];
-                if at >= when {
-                    when = at;
-                    cause = token_cause[p.index()];
-                }
-            }
-            let fire_at = when + delays_ticks(delays, t);
-            heap.push(Reverse((fire_at, *seq, t.0)));
-            *seq += 1;
-            scheduled[t.index()] = true;
-            sched_cause[t.index()] = cause;
-        };
+        }
+        let fire_at = when + delays_ticks(delays, t);
+        heap.push(Reverse((fire_at, *seq, t.0)));
+        *seq += 1;
+        scheduled[t.index()] = true;
+        sched_cause[t.index()] = cause;
+    };
 
     fn delays_ticks(d: &DelayModel, t: TransitionId) -> u64 {
         d.ticks(t)
@@ -250,7 +255,13 @@ pub fn simulate(stg: &Stg, delays: &DelayModel, opts: &SimOptions) -> Result<Tim
 
 /// Hash of the timing configuration after a firing: the marking, which
 /// transition just fired, and the *relative ages* of all tokens.
-fn config_hash(stg: &Stg, marking: &Marking, token_time: &[u64], now: u64, fired: TransitionId) -> u64 {
+fn config_hash(
+    stg: &Stg,
+    marking: &Marking,
+    token_time: &[u64],
+    now: u64,
+    fired: TransitionId,
+) -> u64 {
     use std::collections::hash_map::DefaultHasher;
     use std::hash::{Hash, Hasher};
     let mut h = DefaultHasher::new();
@@ -398,13 +409,17 @@ d- a+
     fn zero_delay_outputs() {
         // Wire-implemented outputs (delay 0): only input delays count.
         let stg = parse_g(HANDSHAKE).unwrap();
-        let delays = DelayModel::from_fn(&stg, 2, |g, t| {
-            if g.is_input_transition(t) {
-                2.0
-            } else {
-                0.0
-            }
-        });
+        let delays = DelayModel::from_fn(
+            &stg,
+            2,
+            |g, t| {
+                if g.is_input_transition(t) {
+                    2.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
         assert_eq!(run.period, 4.0);
         assert_eq!(run.input_events_on_cycle, 2);
@@ -433,13 +448,17 @@ b+ p1
     #[test]
     fn half_tick_delays() {
         let stg = parse_g(HANDSHAKE).unwrap();
-        let delays = DelayModel::from_fn(&stg, 2, |g, t| {
-            if g.is_input_transition(t) {
-                3.0
-            } else {
-                1.5
-            }
-        });
+        let delays = DelayModel::from_fn(
+            &stg,
+            2,
+            |g, t| {
+                if g.is_input_transition(t) {
+                    3.0
+                } else {
+                    1.5
+                }
+            },
+        );
         let run = simulate(&stg, &delays, &SimOptions::default()).unwrap();
         assert_eq!(run.period, 9.0);
     }

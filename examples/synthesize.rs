@@ -1,0 +1,37 @@
+//! Synthesize a `.g` STG from the command line:
+//!
+//! ```sh
+//! cargo run --example synthesize -- path/to/spec.g
+//! ```
+//!
+//! With no argument, runs the built-in xyz example.
+
+use std::process::ExitCode;
+
+use reshuffle_bench::examples::XYZ_G;
+
+fn main() -> ExitCode {
+    let source = match std::env::args().nth(1) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => XYZ_G.to_string(),
+    };
+    match reshuffle::synthesize_with(&source, &reshuffle::PipelineOptions::default()) {
+        Ok(s) => {
+            if !s.inserted.is_empty() {
+                println!("inserted state signals: {}", s.inserted.join(", "));
+            }
+            println!("{}", s.netlist.describe());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-crate integration: parse a `.g` STG, build the state graph,
+//! check coding, derive next-state logic, and run the facade pipeline —
+//! the first test that exercises every layer together.
+
+use reshuffle::{synthesize, synthesize_with, PipelineError, PipelineOptions};
+use reshuffle_bench::examples::XYZ_G;
+use reshuffle_petri::parse_g;
+use reshuffle_sg::{build_state_graph, csc::analyze_csc, props::speed_independence};
+use reshuffle_synth::{derive_all_functions, verify_against_sg, ConflictPolicy};
+use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+#[test]
+fn parse_to_netlist_step_by_step() {
+    // Stage 1: parse.
+    let stg = parse_g(XYZ_G).expect("parse");
+    assert_eq!(stg.net().num_transitions(), 6);
+
+    // Stage 2: state graph.
+    let sg = build_state_graph(&stg).expect("state graph");
+    assert_eq!(sg.num_states(), 6);
+    assert!(speed_independence(&sg).is_speed_independent());
+
+    // Stage 3: coding.
+    let csc = analyze_csc(&sg);
+    assert!(csc.has_csc(), "xyz must be CSC-clean");
+
+    // Stage 4: next-state functions for the two outputs.
+    let funcs = derive_all_functions(&sg, ConflictPolicy::Reject).expect("functions");
+    assert_eq!(funcs.len(), 2);
+    for f in &funcs {
+        assert!(!f.cover.is_empty(), "empty cover for an output");
+    }
+
+    // Stage 5: mapped netlist, verified against the specification.
+    let netlist = synthesize(XYZ_G).expect("facade pipeline");
+    verify_against_sg(&sg, &netlist).expect("verification");
+
+    // Stage 6: timing closes the loop (2+1 delays, 6-event cycle).
+    let delays = DelayModel::uniform(&stg, 2.0, 1.0);
+    let run = simulate(&stg, &delays, &SimOptions::default()).expect("timed run");
+    assert_eq!(run.period, 8.0); // x+ x- are inputs (2.0), four outputs 1.0
+    assert_eq!(run.input_events_on_cycle, 2);
+}
+
+#[test]
+fn facade_rejects_malformed_sources_by_stage() {
+    assert!(matches!(
+        synthesize(".model nothing\n.end\n"),
+        Err(PipelineError::Parse(_))
+    ));
+    // An inconsistent STG (b rises twice per cycle, never falls) fails
+    // no later than the state-graph stage.
+    let inconsistent = ".model bad\n.inputs a\n.outputs b\n.graph\n\
+         a+ b+\nb+ b+/2\nb+/2 a-\na- a+\n.marking { <a-,a+> }\n.end\n";
+    match synthesize_with(inconsistent, &PipelineOptions::default()) {
+        Err(PipelineError::Parse(_)) | Err(PipelineError::StateGraph(_)) => {}
+        other => panic!("expected staged failure, got {other:?}"),
+    }
+}
