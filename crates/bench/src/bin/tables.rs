@@ -1,42 +1,83 @@
 //! Prints the workspace's version of the paper's Tables 1/2: per
-//! example, state-graph size, literal estimate, mapped area, and the
-//! timed cycle metrics (`cr.cycle`, `inp.events`).
+//! example, state-graph size and CSC conflicts of the *specification*,
+//! then the synthesized result both without (`lits`, `cycle`, `sig+`)
+//! and with (`lits'`, `cycle'`, `sig+'`, `moves`) the Section 4
+//! concurrency-reduction stage, so the reduced-vs-original literal and
+//! cycle trade-off is visible per row.
 //!
-//! The `csc` column counts conflicts of the *specification*; every
-//! other column describes the synthesized result (after any state
-//! signals were inserted), so rows stay internally consistent.
+//! A `-` entry means that path failed (e.g. `mfig1` stalls CSC
+//! insertion unless reduction runs first); the report only counts an
+//! example as failed when the reduced pipeline fails too.
 
-use reshuffle::{synthesize_stg_from, Library, PipelineOptions};
+use reshuffle::{synthesize_stg_from, PipelineOptions, ReduceOptions, Synthesis};
 use reshuffle_bench::examples;
 use reshuffle_petri::parse_g;
 use reshuffle_sg::{build_state_graph, csc::analyze_csc};
 use reshuffle_synth::literal_estimate;
 use reshuffle_timing::{simulate, DelayModel, SimOptions};
 
+/// One synthesized path of a row: literals, cycle time, state signals
+/// inserted, serializing moves applied.
+struct Path {
+    lits: u32,
+    cycle: f64,
+    inserted: usize,
+    moves: usize,
+}
+
+/// Measures one synthesized path under the same delay model the
+/// reduction search optimized for, so `cycle'` reports the optimizer's
+/// own objective.
+fn path_of(s: &Synthesis, ropts: &ReduceOptions) -> Result<Path, Box<dyn std::error::Error>> {
+    let delays = DelayModel::uniform(&s.stg, ropts.input_delay, ropts.gate_delay);
+    let run = simulate(&s.stg, &delays, &SimOptions::default())?;
+    Ok(Path {
+        lits: literal_estimate(&s.sg),
+        cycle: run.period,
+        inserted: s.inserted.len(),
+        moves: s.moves.len(),
+    })
+}
+
 fn main() {
-    let lib = Library::default();
     println!(
-        "{:<8} {:>7} {:>8} {:>9} {:>6} {:>9} {:>10}",
-        "model", "states", "csc", "literals", "area", "cr.cycle", "inp.events"
+        "{:<8} {:>6} {:>4} | {:>5} {:>6} {:>5} | {:>5} {:>6} {:>5} {:>6}",
+        "model", "states", "csc", "lits", "cycle", "sig+", "lits'", "cycle'", "sig+'", "moves"
     );
     let mut failures = 0usize;
+    let ropts = ReduceOptions::default();
     for (name, src) in examples::ALL {
         let row = (|| -> Result<String, Box<dyn std::error::Error>> {
             let spec = parse_g(src)?;
             let spec_sg = build_state_graph(&spec)?;
-            let spec_conflicts = analyze_csc(&spec_sg).num_csc_conflicts();
-            let s = synthesize_stg_from(&spec, spec_sg, &PipelineOptions::default())?;
-            let delays = DelayModel::uniform(&s.stg, 2.0, 1.0);
-            let run = simulate(&s.stg, &delays, &SimOptions::default())?;
+            let states = spec_sg.num_states();
+            let conflicts = analyze_csc(&spec_sg).num_csc_conflicts();
+
+            let original = synthesize_stg_from(&spec, spec_sg.clone(), &PipelineOptions::default())
+                .map_err(Box::<dyn std::error::Error>::from)
+                .and_then(|s| path_of(&s, &ropts));
+            let reduced_opts = PipelineOptions {
+                reduce: Some(ropts.clone()),
+                ..Default::default()
+            };
+            let reduced = synthesize_stg_from(&spec, spec_sg, &reduced_opts)
+                .map_err(Box::<dyn std::error::Error>::from)
+                .and_then(|s| path_of(&s, &ropts))?;
+
+            let orig_cols = match &original {
+                Ok(p) => format!("{:>5} {:>6.1} {:>5}", p.lits, p.cycle, p.inserted),
+                Err(_) => format!("{:>5} {:>6} {:>5}", "-", "-", "-"),
+            };
             Ok(format!(
-                "{:<8} {:>7} {:>8} {:>9} {:>6.1} {:>9.1} {:>10}",
+                "{:<8} {:>6} {:>4} | {} | {:>5} {:>6.1} {:>5} {:>6}",
                 name,
-                s.sg.num_states(),
-                spec_conflicts,
-                literal_estimate(&s.sg),
-                s.netlist.area(&lib),
-                run.period,
-                run.input_events_on_cycle
+                states,
+                conflicts,
+                orig_cols,
+                reduced.lits,
+                reduced.cycle,
+                reduced.inserted,
+                reduced.moves,
             ))
         })();
         match row {

@@ -7,10 +7,13 @@
 //! 1. parse an astg (`.g`) specification ([`petri`]);
 //! 2. build the binary-encoded state graph ([`sg`]);
 //! 3. check speed independence and Complete State Coding ([`sg`]);
-//! 4. resolve CSC conflicts by state-signal insertion when needed
+//! 4. optionally reduce concurrency (Section 4, [`reduce`]) — run
+//!    before CSC resolution so serializations that dissolve conflicts
+//!    are preferred over state-signal insertion;
+//! 5. resolve remaining CSC conflicts by state-signal insertion
 //!    ([`synth`]);
-//! 5. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
-//! 6. verify the mapped netlist against the specification ([`synth`]).
+//! 6. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
+//! 7. verify the mapped netlist against the specification ([`synth`]).
 //!
 //! The one-call entry point is [`synthesize`]; [`synthesize_with`]
 //! exposes the intermediate artifacts and the knobs.
@@ -54,6 +57,7 @@ pub use reshuffle_handshake as handshake;
 pub use reshuffle_reduce as reduce;
 
 pub use reshuffle_petri::{parse_g, PetriError, Stg};
+pub use reshuffle_reduce::{ReduceError, ReduceOptions};
 pub use reshuffle_sg::{build_state_graph, SgError, StateGraph};
 pub use reshuffle_synth::{CscOptions, Library, Netlist, SynthError};
 pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
@@ -71,6 +75,9 @@ pub enum PipelineError {
         /// Total number of violation witnesses found.
         violations: usize,
     },
+    /// The opt-in concurrency-reduction stage failed (e.g. the
+    /// cycle-time bound excluded every reduction).
+    Reduce(ReduceError),
     /// Logic synthesis or CSC resolution failed.
     Synth(SynthError),
     /// Timed analysis failed.
@@ -86,6 +93,7 @@ impl fmt::Display for PipelineError {
                 f,
                 "specification is not speed-independent ({violations} violations)"
             ),
+            PipelineError::Reduce(e) => write!(f, "reduction: {e}"),
             PipelineError::Synth(e) => write!(f, "synthesis: {e}"),
             PipelineError::Timing(e) => write!(f, "timing: {e}"),
         }
@@ -98,9 +106,16 @@ impl std::error::Error for PipelineError {
             PipelineError::Parse(e) => Some(e),
             PipelineError::StateGraph(e) => Some(e),
             PipelineError::NotSpeedIndependent { .. } => None,
+            PipelineError::Reduce(e) => Some(e),
             PipelineError::Synth(e) => Some(e),
             PipelineError::Timing(e) => Some(e),
         }
+    }
+}
+
+impl From<ReduceError> for PipelineError {
+    fn from(e: ReduceError) -> Self {
+        PipelineError::Reduce(e)
     }
 }
 
@@ -146,6 +161,10 @@ pub enum ImplStyle {
 pub struct PipelineOptions {
     /// Implementation style (complex gate by default).
     pub style: ImplStyle,
+    /// Opt-in concurrency-reduction stage (Section 4), run *before* CSC
+    /// resolution so reductions that dissolve conflicts are preferred
+    /// over state-signal insertion. `None` (the default) skips it.
+    pub reduce: Option<ReduceOptions>,
     /// CSC-resolution search parameters.
     pub csc: CscOptions,
     /// Skip the final implementation-vs-specification check.
@@ -164,6 +183,9 @@ pub struct Synthesis {
     pub netlist: Netlist,
     /// Names of state signals inserted to resolve CSC.
     pub inserted: Vec<String>,
+    /// Serializing moves applied by the concurrency-reduction stage
+    /// (empty when the stage was skipped or found nothing to improve).
+    pub moves: Vec<String>,
 }
 
 /// Runs the full pipeline on `.g` source text and returns the mapped
@@ -219,13 +241,34 @@ pub fn synthesize_stg_from(
         });
     }
 
-    let (stg, sg, inserted) = if reshuffle_sg::csc::analyze_csc(&sg0).has_csc() {
-        (spec.clone(), sg0, Vec::new())
+    // Opt-in concurrency reduction runs before CSC resolution, so
+    // reductions that dissolve conflicts win over state-signal
+    // insertion. The reducer preserves speed independence by
+    // construction, so the gate above still covers the reduced graph;
+    // it also reports the reduced graph's conflict count, which lets a
+    // conflict-free reduction skip the coding analysis below entirely.
+    let (spec, sg0, moves, known_conflicts) = match &opts.reduce {
+        None => (spec.clone(), sg0, Vec::new(), None),
+        Some(ropts) => {
+            let r = reshuffle_reduce::reduce_concurrency_from(spec, sg0, ropts)?;
+            (r.stg, r.sg, r.moves, Some(r.csc_conflicts))
+        }
+    };
+
+    // `analyze_csc` runs at most once per graph in this pipeline: one
+    // analysis serves both the conflict check and the resolver.
+    let (stg, sg, inserted) = if known_conflicts == Some(0) {
+        (spec, sg0, Vec::new())
     } else {
-        // Hand the already-built graph to the resolver rather than
-        // letting it rebuild the most expensive artifact.
-        let r = reshuffle_synth::resolve_csc_from(spec, sg0, &opts.csc)?;
-        (r.stg, r.sg, r.inserted)
+        let analysis = reshuffle_sg::csc::analyze_csc(&sg0);
+        if analysis.has_csc() {
+            (spec, sg0, Vec::new())
+        } else {
+            // Hand the already-built graph and its analysis to the
+            // resolver rather than letting it rebuild either.
+            let r = reshuffle_synth::resolve_csc_analyzed(&spec, sg0, &analysis, &opts.csc)?;
+            (r.stg, r.sg, r.inserted)
+        }
     };
 
     let netlist = match opts.style {
@@ -240,6 +283,7 @@ pub fn synthesize_stg_from(
         sg,
         netlist,
         inserted,
+        moves,
     })
 }
 
@@ -322,6 +366,67 @@ Req+ Ack+
             Ok(s) => assert!(!s.inserted.is_empty()),
             Err(PipelineError::Synth(SynthError::CscResolutionFailed { .. })) => {}
             Err(e) => panic!("unexpected pipeline error: {e}"),
+        }
+    }
+
+    /// Mirror of Fig. 1 (`Req` is the output): its CSC conflict cannot
+    /// be fixed by state-signal insertion, only by serializing `Req+`
+    /// after `Ack-`.
+    const MFIG1_G: &str = "\
+.model mfig1
+.inputs Ack
+.outputs Req
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn reduce_stage_rescues_insertion_stalls() {
+        // Without reduction the pipeline stalls on mfig1 …
+        let default_run = synthesize_with(MFIG1_G, &PipelineOptions::default());
+        assert!(matches!(
+            default_run,
+            Err(PipelineError::Synth(SynthError::CscResolutionFailed { .. }))
+        ));
+        // … with the opt-in stage it synthesizes with zero state signals.
+        let opts = PipelineOptions {
+            reduce: Some(ReduceOptions::default()),
+            ..Default::default()
+        };
+        let s = synthesize_with(MFIG1_G, &opts).unwrap();
+        assert_eq!(s.moves, vec!["Ack- -> Req+".to_string()]);
+        assert!(s.inserted.is_empty());
+        assert_eq!(s.sg.num_states(), 4);
+    }
+
+    #[test]
+    fn reduce_stage_is_identity_on_sequential_specs() {
+        let opts = PipelineOptions {
+            reduce: Some(ReduceOptions::default()),
+            ..Default::default()
+        };
+        let s = synthesize_with(XYZ_G, &opts).unwrap();
+        assert!(s.moves.is_empty());
+        assert_eq!(s.sg.num_states(), 6);
+    }
+
+    #[test]
+    fn reduce_stage_reports_infeasible_bounds() {
+        let opts = PipelineOptions {
+            reduce: Some(ReduceOptions {
+                max_cycle_time: Some(0.5),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        match synthesize_with(XYZ_G, &opts) {
+            Err(PipelineError::Reduce(ReduceError::NoFeasibleReduction)) => {}
+            other => panic!("expected infeasible-reduction error, got {other:?}"),
         }
     }
 

@@ -3,42 +3,54 @@
 //! Reducing concurrency — serializing transitions that the
 //! specification allows in parallel — shrinks the state graph, often
 //! removes CSC conflicts without extra state signals, and trades cycle
-//! time for logic. The paper drives the search with the literal
-//! estimate of [`reshuffle_synth::literal_estimate`] and the timed
-//! cycle metrics of `reshuffle-timing`.
+//! time for logic. The search enumerates serializing moves from the
+//! concurrency relation of [`reshuffle_sg::conc`], applies each as a
+//! structural STG rewrite (an ordering place `from -> p -> to`,
+//! [`reshuffle_petri::structural::insert_causal_place`]), re-derives the
+//! state graph incrementally as the product of the old graph with the
+//! new place ([`reshuffle_sg::restrict`]), and ranks candidates by
+//! remaining CSC conflicts, then the literal estimate of
+//! [`reshuffle_synth::literal_estimate`], then the timed cycle metric of
+//! `reshuffle-timing` — optionally under a hard cycle-time bound.
 //!
-//! This crate is the typed skeleton for that optimization loop: the
-//! entry points and result shapes are final, the algorithms return
-//! [`ReduceError::Unimplemented`] until a later PR lands them.
+//! Moves that would delay an input transition, deadlock the system,
+//! stop an event from ever firing, or break speed independence are
+//! discarded; consistency is preserved by construction (the rewrite
+//! only restricts the language, and state codes carry over).
 
 #![warn(missing_docs)]
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use reshuffle_petri::structural::insert_causal_place;
 use reshuffle_petri::Stg;
+use reshuffle_sg::conc::concurrent_pairs;
+use reshuffle_sg::csc::analyze_csc;
+use reshuffle_sg::props::{all_events_fire, speed_independence};
+use reshuffle_sg::restrict::restrict_with_place;
+use reshuffle_sg::{build_state_graph, EventId, SgError, StateGraph};
+use reshuffle_synth::literal_estimate;
+use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
 
 /// Errors from concurrency reduction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReduceError {
-    /// The requested feature is not implemented yet.
-    Unimplemented {
-        /// The missing feature, for error messages.
-        feature: &'static str,
-    },
+    /// The input STG has no state graph (inconsistent, unsafe, …).
+    Sg(SgError),
+    /// The input STG has no periodic timed behaviour to bound.
+    Timing(TimingError),
     /// No reduction satisfies the constraints (e.g. the cycle-time
-    /// bound).
+    /// bound excludes the specification and every candidate).
     NoFeasibleReduction,
 }
 
 impl fmt::Display for ReduceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReduceError::Unimplemented { feature } => {
-                write!(
-                    f,
-                    "concurrency reduction: `{feature}` is not implemented yet"
-                )
-            }
+            ReduceError::Sg(e) => write!(f, "concurrency reduction: {e}"),
+            ReduceError::Timing(e) => write!(f, "concurrency reduction: {e}"),
             ReduceError::NoFeasibleReduction => {
                 write!(f, "no concurrency reduction satisfies the constraints")
             }
@@ -46,7 +58,27 @@ impl fmt::Display for ReduceError {
     }
 }
 
-impl std::error::Error for ReduceError {}
+impl std::error::Error for ReduceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReduceError::Sg(e) => Some(e),
+            ReduceError::Timing(e) => Some(e),
+            ReduceError::NoFeasibleReduction => None,
+        }
+    }
+}
+
+impl From<SgError> for ReduceError {
+    fn from(e: SgError) -> Self {
+        ReduceError::Sg(e)
+    }
+}
+
+impl From<TimingError> for ReduceError {
+    fn from(e: TimingError) -> Self {
+        ReduceError::Timing(e)
+    }
+}
 
 /// Convenient result alias for this crate.
 pub type Result<T> = std::result::Result<T, ReduceError>;
@@ -55,10 +87,17 @@ pub type Result<T> = std::result::Result<T, ReduceError>;
 #[derive(Debug, Clone)]
 pub struct ReduceOptions {
     /// Upper bound on the steady-state cycle time of the reduced STG
-    /// (`None` = unconstrained, minimize literals only).
+    /// (`None` = unconstrained, minimize conflicts and literals only).
     pub max_cycle_time: Option<f64>,
     /// Maximum number of serializing moves to apply.
     pub max_moves: usize,
+    /// Maximum number of best-first node expansions (bounds the search).
+    pub max_expansions: usize,
+    /// Delay charged to input events by the cycle metric (Table 1/2
+    /// model: 2.0).
+    pub input_delay: f64,
+    /// Delay charged to non-input events by the cycle metric (1.0).
+    pub gate_delay: f64,
 }
 
 impl Default for ReduceOptions {
@@ -66,6 +105,9 @@ impl Default for ReduceOptions {
         ReduceOptions {
             max_cycle_time: None,
             max_moves: 16,
+            max_expansions: 128,
+            input_delay: 2.0,
+            gate_delay: 1.0,
         }
     }
 }
@@ -73,26 +115,241 @@ impl Default for ReduceOptions {
 /// A concurrency-reduced refinement of the input STG.
 #[derive(Debug, Clone)]
 pub struct Reduction {
-    /// The reduced STG.
+    /// The reduced STG (the input STG if no move improved it).
     pub stg: Stg,
-    /// Serializing moves applied, in order, as human-readable strings.
+    /// Its state graph, re-derived incrementally move by move.
+    pub sg: StateGraph,
+    /// Serializing moves applied, in order, as `from -> to` strings.
     pub moves: Vec<String>,
     /// Literal estimate of the reduced specification.
     pub literals: u32,
+    /// Steady-state cycle time of the reduced specification under the
+    /// options' delay model.
+    pub cycle: f64,
+    /// Remaining CSC conflicts of the reduced specification.
+    pub csc_conflicts: usize,
 }
 
-/// Searches for a concurrency reduction of `stg` that minimizes the
-/// literal estimate subject to `opts`.
+/// Search priority: (CSC conflicts, literals, cycle-time bits, moves).
+type Score = (usize, u32, u64, usize);
+
+/// One node of the best-first search.
+struct Node {
+    stg: Stg,
+    sg: StateGraph,
+    moves: Vec<String>,
+    conflicts: usize,
+    literals: u32,
+    cycle: f64,
+}
+
+impl Node {
+    /// Lexicographic search priority: dissolve CSC conflicts first, then
+    /// minimize literals, then cycle time, then prefer fewer moves. The
+    /// cycle is non-negative, so its bit pattern orders like the value.
+    fn score(&self) -> Score {
+        (
+            self.conflicts,
+            self.literals,
+            self.cycle.to_bits(),
+            self.moves.len(),
+        )
+    }
+}
+
+/// Searches for a concurrency reduction of `stg` that minimizes first
+/// the number of CSC conflicts, then the literal estimate, subject to
+/// `opts`. Returns a zero-move [`Reduction`] when no serializing move
+/// improves on the specification.
+///
+/// # Worked example
+///
+/// The mirror of the paper's Fig. 1 controller — `Req` driven by the
+/// circuit, `Ack` by the environment — allows `Req+` concurrent with
+/// `Ack-`. Its five-state graph binary-codes two states identically
+/// (`11`), one enabling the output edge `Req-` and one not: a CSC
+/// conflict that state-signal insertion cannot fix (the conflicting
+/// states are separated by input events only). Serializing `Req+` after
+/// `Ack-` removes the offending interleaving instead: four states, all
+/// codes distinct, and the single output reduces to an inverter
+/// (`Req' = !Ack`, one literal) — no state signal inserted.
+///
+/// ```
+/// use reshuffle_petri::parse_g;
+/// use reshuffle_reduce::{reduce_concurrency, ReduceOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stg = parse_g(
+///     ".model mfig1\n.inputs Ack\n.outputs Req\n.graph\n\
+///      Ack+ Req-\nReq- Req+ Ack-\nAck- Ack+\nReq+ Ack+\n\
+///      .marking { <Req+,Ack+> <Ack-,Ack+> }\n.end\n",
+/// )?;
+/// let red = reduce_concurrency(&stg, &ReduceOptions::default())?;
+/// assert_eq!(red.moves, vec!["Ack- -> Req+".to_string()]);
+/// assert_eq!(red.sg.num_states(), 4);
+/// assert_eq!(red.csc_conflicts, 0);
+/// assert_eq!(red.literals, 1);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
-/// Currently always [`ReduceError::Unimplemented`]; later PRs will
-/// return [`ReduceError::NoFeasibleReduction`] when the constraints
-/// cannot be met.
-pub fn reduce_concurrency(_stg: &Stg, _opts: &ReduceOptions) -> Result<Reduction> {
-    Err(ReduceError::Unimplemented {
-        feature: "serializing-move search",
+/// * [`ReduceError::Sg`] / [`ReduceError::Timing`] if the input STG
+///   itself has no state graph or no periodic behaviour;
+/// * [`ReduceError::NoFeasibleReduction`] if `opts.max_cycle_time`
+///   excludes the specification and every candidate reduction.
+pub fn reduce_concurrency(stg: &Stg, opts: &ReduceOptions) -> Result<Reduction> {
+    let sg = build_state_graph(stg)?;
+    reduce_concurrency_from(stg, sg, opts)
+}
+
+/// [`reduce_concurrency`] for callers that already built the
+/// specification's state graph (`sg` must be the state graph of `stg`);
+/// avoids rebuilding the most expensive artifact.
+///
+/// # Errors
+///
+/// See [`reduce_concurrency`].
+pub fn reduce_concurrency_from(
+    stg: &Stg,
+    sg: StateGraph,
+    opts: &ReduceOptions,
+) -> Result<Reduction> {
+    let (conflicts, literals, cycle) = evaluate(stg, &sg, opts)?;
+    let root = Node {
+        stg: stg.clone(),
+        sg,
+        moves: Vec::new(),
+        conflicts,
+        literals,
+        cycle,
+    };
+
+    // (`Option::is_none_or` would read better but postdates the 1.75 MSRV.)
+    let feasible = |n: &Node| match opts.max_cycle_time {
+        None => true,
+        Some(b) => n.cycle <= b,
+    };
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(root.sg.fingerprint());
+    let mut best: Option<usize> = feasible(&root).then_some(0);
+    let mut nodes: Vec<Node> = vec![root];
+    // Min-heap on (score, node id); the id breaks ties deterministically.
+    let mut heap: BinaryHeap<Reverse<(Score, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((nodes[0].score(), 0)));
+
+    let mut expansions = 0usize;
+    while let Some(Reverse((_, id))) = heap.pop() {
+        if expansions >= opts.max_expansions {
+            break;
+        }
+        if nodes[id].moves.len() >= opts.max_moves {
+            continue;
+        }
+        expansions += 1;
+        for (stg2, sg2, label) in candidate_moves(&nodes[id]) {
+            if !visited.insert(sg2.fingerprint()) {
+                continue;
+            }
+            let Ok((conflicts, literals, cycle)) = evaluate(&stg2, &sg2, opts) else {
+                continue; // e.g. the move deadlocks the timed simulation
+            };
+            if matches!(opts.max_cycle_time, Some(b) if cycle > b) {
+                continue; // the bound prunes this branch
+            }
+            let mut moves = nodes[id].moves.clone();
+            moves.push(label);
+            let node = Node {
+                stg: stg2,
+                sg: sg2,
+                moves,
+                conflicts,
+                literals,
+                cycle,
+            };
+            let nid = nodes.len();
+            if !matches!(best, Some(b) if nodes[b].score() <= node.score()) {
+                best = Some(nid);
+            }
+            heap.push(Reverse((node.score(), nid)));
+            nodes.push(node);
+        }
+    }
+
+    let Some(best) = best else {
+        return Err(ReduceError::NoFeasibleReduction);
+    };
+    let n = nodes.swap_remove(best);
+    Ok(Reduction {
+        stg: n.stg,
+        sg: n.sg,
+        moves: n.moves,
+        literals: n.literals,
+        cycle: n.cycle,
+        csc_conflicts: n.conflicts,
     })
+}
+
+/// Scores one STG/state-graph pair: CSC conflicts, literal estimate and
+/// steady-state cycle time under the options' delay model.
+fn evaluate(
+    stg: &Stg,
+    sg: &StateGraph,
+    opts: &ReduceOptions,
+) -> std::result::Result<(usize, u32, f64), TimingError> {
+    let conflicts = analyze_csc(sg).num_csc_conflicts();
+    let literals = literal_estimate(sg);
+    let delays = DelayModel::uniform(stg, opts.input_delay, opts.gate_delay);
+    let run = simulate(stg, &delays, &SimOptions::default())?;
+    Ok((conflicts, literals, run.period))
+}
+
+/// Enumerates the legal serializing moves applicable to `node`: for each
+/// concurrent pair, each direction whose delayed edge is non-input and
+/// single-instance, with the state graph re-derived incrementally and
+/// the liveness/speed-independence gates applied.
+fn candidate_moves(node: &Node) -> Vec<(Stg, StateGraph, String)> {
+    let mut out = Vec::new();
+    for (a, b) in concurrent_pairs(&node.sg) {
+        for (from, to) in [(a, b), (b, a)] {
+            // Never delay the environment: the waiting edge must be an
+            // output or internal signal.
+            if !node.sg.signals()[to.signal.index()].kind.is_noninput() {
+                continue;
+            }
+            // Serializing multi-instance edges needs per-instance case
+            // analysis the paper does not require for its benchmarks.
+            let &[from_t] = node.stg.transitions_of_edge(from).as_slice() else {
+                continue;
+            };
+            let &[to_t] = node.stg.transitions_of_edge(to).as_slice() else {
+                continue;
+            };
+            let Ok(sg2) = restrict_with_place(&node.sg, &[EventId(from_t.0)], &[EventId(to_t.0)])
+            else {
+                continue; // the rewrite would make the net unsafe
+            };
+            // Liveness: no deadlock, every event still fires somewhere.
+            if !sg2.deadlock_states().is_empty() || !all_events_fire(&sg2) {
+                continue;
+            }
+            if !speed_independence(&sg2).is_speed_independent() {
+                continue;
+            }
+            let mut stg2 = node.stg.clone();
+            if insert_causal_place(&mut stg2, from_t, to_t).is_err() {
+                continue;
+            }
+            let label = format!(
+                "{} -> {}",
+                node.stg.transition_name(from_t),
+                node.stg.transition_name(to_t)
+            );
+            out.push((stg2, sg2, label));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -100,14 +357,101 @@ mod tests {
     use super::*;
     use reshuffle_petri::parse_g;
 
+    const MFIG1: &str = "\
+.model mfig1
+.inputs Ack
+.outputs Req
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    const TOGGLE: &str = "\
+.model t
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+
     #[test]
-    fn reduction_is_honestly_unimplemented() {
-        let stg = parse_g(
-            ".model t\n.inputs a\n.outputs b\n.graph\n\
-             a+ b+\nb+ a-\na- b-\nb- a+\n.marking { <b-,a+> }\n.end\n",
+    fn mfig1_conflict_dissolved_without_state_signals() {
+        let stg = parse_g(MFIG1).unwrap();
+        let red = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap();
+        assert_eq!(red.moves.len(), 1);
+        assert_eq!(red.csc_conflicts, 0);
+        assert_eq!(red.sg.num_states(), 4);
+        // The reduced STG rebuilds to the incrementally-derived graph.
+        let rebuilt = build_state_graph(&red.stg).unwrap();
+        assert_eq!(rebuilt.fingerprint(), red.sg.fingerprint());
+    }
+
+    #[test]
+    fn sequential_spec_reduces_to_itself() {
+        let stg = parse_g(TOGGLE).unwrap();
+        let red = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap();
+        assert!(red.moves.is_empty());
+        assert_eq!(red.sg.num_states(), 4);
+        assert_eq!(red.cycle, 6.0);
+    }
+
+    #[test]
+    fn cycle_bound_prunes_everything() {
+        // The toggle's cycle is 6.0; a bound below that excludes even
+        // the unreduced specification.
+        let stg = parse_g(TOGGLE).unwrap();
+        let opts = ReduceOptions {
+            max_cycle_time: Some(1.0),
+            ..Default::default()
+        };
+        let e = reduce_concurrency(&stg, &opts).unwrap_err();
+        assert_eq!(e, ReduceError::NoFeasibleReduction);
+    }
+
+    #[test]
+    fn cycle_bound_keeps_the_spec_when_moves_are_too_slow() {
+        // mfig1's spec cycle is 5.0 and its only useful move costs 6.0:
+        // bounding at 5.0 forces the zero-move reduction.
+        let stg = parse_g(MFIG1).unwrap();
+        let opts = ReduceOptions {
+            max_cycle_time: Some(5.0),
+            ..Default::default()
+        };
+        let red = reduce_concurrency(&stg, &opts).unwrap();
+        assert!(red.moves.is_empty());
+        assert_eq!(red.csc_conflicts, 1);
+        assert_eq!(red.cycle, 5.0);
+    }
+
+    #[test]
+    fn move_budget_zero_is_identity() {
+        let stg = parse_g(MFIG1).unwrap();
+        let opts = ReduceOptions {
+            max_moves: 0,
+            ..Default::default()
+        };
+        let red = reduce_concurrency(&stg, &opts).unwrap();
+        assert!(red.moves.is_empty());
+        assert_eq!(red.csc_conflicts, 1);
+    }
+
+    #[test]
+    fn inconsistent_input_reports_sg_error() {
+        let bad = parse_g(
+            ".model bad\n.inputs a\n.graph\na+ a+/2\na+/2 a+\n\
+             .marking { <a+/2,a+> }\n.end\n",
         )
         .unwrap();
-        let err = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap_err();
-        assert!(matches!(err, ReduceError::Unimplemented { .. }));
+        let e = reduce_concurrency(&bad, &ReduceOptions::default()).unwrap_err();
+        assert!(matches!(e, ReduceError::Sg(_)), "{e:?}");
     }
 }

@@ -11,6 +11,7 @@
 //! * [`csc`] — Unique/Complete State Coding conflict detection;
 //! * [`er`] — excitation regions and their minimal states;
 //! * [`conc`] — the concurrency relation (state diamonds);
+//! * [`restrict`] — incremental re-derivation after serializing rewrites;
 //! * [`nextstate`] — implied-value tables feeding logic synthesis.
 //!
 //! # Example
@@ -43,6 +44,7 @@ pub mod er;
 mod error;
 pub mod nextstate;
 pub mod props;
+pub mod restrict;
 mod sg;
 
 pub use build::{

@@ -1,0 +1,191 @@
+//! Incremental state-graph re-derivation after a serializing rewrite.
+//!
+//! Concurrency reduction (Section 4) rewrites the STG by adding one
+//! fresh 1-safe place `p` with arcs `from -> p -> to`, so `to` now also
+//! waits for a token produced by `from`. The state graph of the
+//! rewritten STG is exactly the synchronous product of the original
+//! graph with the two-state automaton tracking `p`'s token count —
+//! binary codes, the event table and speed-independence-relevant
+//! structure all carry over. [`restrict_with_place`] builds that product
+//! directly from the already-explored graph, skipping the Petri-net
+//! token game and initial-value inference that dominate a full
+//! [`build_state_graph`](crate::build_state_graph) run.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, SgError};
+use crate::sg::{EventId, State, StateGraph, StateId};
+
+/// Re-derives the state graph after adding one fresh, initially
+/// unmarked, 1-safe place whose producing events are `producers` and
+/// whose consuming events are `consumers`.
+///
+/// States of the result are `(original state, token count)` pairs
+/// reachable from `(initial, 0)`; codes are inherited from the original
+/// states. Arcs labelled with a consumer event are dropped while the
+/// place is empty — that is the serialization. Originating markings are
+/// not carried over (they would describe the pre-rewrite net).
+///
+/// # Errors
+///
+/// * [`SgError::Invalid`] if a producer fires while the place already
+///   holds a token (the rewrite would make the net unsafe), or if an
+///   event is listed as both producer and consumer.
+pub fn restrict_with_place(
+    sg: &StateGraph,
+    producers: &[EventId],
+    consumers: &[EventId],
+) -> Result<StateGraph> {
+    if producers.iter().any(|e| consumers.contains(e)) {
+        return Err(SgError::Invalid(
+            "an event cannot both produce and consume the serializing place".into(),
+        ));
+    }
+    // (original state, token) -> new dense id.
+    let mut index: HashMap<(StateId, bool), StateId> = HashMap::new();
+    let mut nodes: Vec<(StateId, bool)> = vec![(sg.initial(), false)];
+    index.insert((sg.initial(), false), 0);
+    let mut succ: Vec<Vec<(EventId, StateId)>> = vec![Vec::new()];
+    let mut work = vec![0 as StateId];
+    while let Some(s) = work.pop() {
+        let (orig, tok) = nodes[s as usize];
+        for &(e, t) in sg.succ(orig) {
+            let consumes = consumers.contains(&e);
+            if consumes && !tok {
+                continue; // the serialization: `e` must wait for a token
+            }
+            let produces = producers.contains(&e);
+            if produces && tok {
+                return Err(SgError::Invalid(format!(
+                    "serializing place becomes unsafe: {} fires with a token pending",
+                    sg.event(e).label
+                )));
+            }
+            let ntok = (tok && !consumes) || produces;
+            let key = (t, ntok);
+            let id = match index.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = nodes.len() as StateId;
+                    nodes.push(key);
+                    index.insert(key, id);
+                    succ.push(Vec::new());
+                    work.push(id);
+                    id
+                }
+            };
+            succ[s as usize].push((e, id));
+        }
+    }
+    let states: Vec<State> = nodes
+        .iter()
+        .zip(succ)
+        .map(|(&(orig, _), succ)| State {
+            code: sg.code(orig),
+            succ,
+            marking: None,
+        })
+        .collect();
+    StateGraph::from_parts(
+        sg.name().to_string(),
+        sg.signals().to_vec(),
+        sg.events().to_vec(),
+        states,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_state_graph;
+    use crate::csc::analyze_csc;
+    use crate::props::speed_independence;
+    use reshuffle_petri::parse_g;
+
+    /// Mirror of the paper's Fig. 1: `Req` is the circuit's output, and
+    /// the spec allows `Req+` concurrent with `Ack-`.
+    const MFIG1: &str = "\
+.model mfig1
+.inputs Ack
+.outputs Req
+.graph
+Ack+ Req-
+Req- Req+ Ack-
+Ack- Ack+
+Req+ Ack+
+.marking { <Req+,Ack+> <Ack-,Ack+> }
+.end
+";
+
+    #[test]
+    fn product_matches_full_rebuild() {
+        let stg = parse_g(MFIG1).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        assert_eq!(sg.num_states(), 5);
+        let am = stg.transition_by_label("Ack-").unwrap();
+        let rp = stg.transition_by_label("Req+").unwrap();
+        let reduced = restrict_with_place(&sg, &[EventId(am.0)], &[EventId(rp.0)]).unwrap();
+
+        // Reference: rewrite the STG and rebuild from scratch.
+        let mut stg2 = stg.clone();
+        reshuffle_petri::structural::insert_causal_place(&mut stg2, am, rp).unwrap();
+        let rebuilt = build_state_graph(&stg2).unwrap();
+        assert_eq!(reduced.num_states(), rebuilt.num_states());
+        assert_eq!(reduced.num_arcs(), rebuilt.num_arcs());
+        assert_eq!(reduced.fingerprint(), rebuilt.fingerprint());
+
+        // The serialization dissolved the CSC conflict and kept SI.
+        assert_eq!(analyze_csc(&reduced).num_csc_conflicts(), 0);
+        assert!(speed_independence(&reduced).is_speed_independent());
+    }
+
+    #[test]
+    fn reverse_serialization_traps_the_graph() {
+        // Ordering Ack- after Req+ (delaying the input) removes the
+        // other diamond path; the product is still well-formed.
+        let stg = parse_g(MFIG1).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        let am = stg.transition_by_label("Ack-").unwrap();
+        let rp = stg.transition_by_label("Req+").unwrap();
+        let reduced = restrict_with_place(&sg, &[EventId(rp.0)], &[EventId(am.0)]).unwrap();
+        assert_eq!(reduced.num_states(), 4);
+        assert!(reduced.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn unsafe_rewrite_is_rejected() {
+        // Producing from an event that can fire twice before the
+        // consumer (b+ then b- produce, a- consumes) overfills the place.
+        let src = "\
+.model conc
+.inputs a
+.outputs b
+.graph
+p0 a+
+p1 b+
+a+ a-
+b+ b-
+a- p0
+b- p1
+.marking { p0 p1 }
+.end
+";
+        let stg = parse_g(src).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        let bp = stg.transition_by_label("b+").unwrap();
+        let bm = stg.transition_by_label("b-").unwrap();
+        let am = stg.transition_by_label("a-").unwrap();
+        let e = restrict_with_place(&sg, &[EventId(bp.0), EventId(bm.0)], &[EventId(am.0)]);
+        assert!(matches!(e, Err(SgError::Invalid(_))), "{e:?}");
+    }
+
+    #[test]
+    fn producer_consumer_overlap_rejected() {
+        let stg = parse_g(MFIG1).unwrap();
+        let sg = build_state_graph(&stg).unwrap();
+        let rp = stg.transition_by_label("Req+").unwrap();
+        let e = restrict_with_place(&sg, &[EventId(rp.0)], &[EventId(rp.0)]);
+        assert!(matches!(e, Err(SgError::Invalid(_))));
+    }
+}

@@ -11,7 +11,7 @@
 
 use reshuffle_petri::structural::insert_series_transition;
 use reshuffle_petri::{Polarity, SignalKind, Stg, TransitionId};
-use reshuffle_sg::csc::analyze_csc;
+use reshuffle_sg::csc::{analyze_csc, CscReport};
 use reshuffle_sg::props::speed_independence;
 use reshuffle_sg::{build_state_graph, StateGraph};
 
@@ -70,11 +70,29 @@ pub fn resolve_csc(stg: &Stg, opts: &CscOptions) -> Result<CscResolution> {
 ///
 /// See [`resolve_csc`].
 pub fn resolve_csc_from(stg: &Stg, sg: StateGraph, opts: &CscOptions) -> Result<CscResolution> {
+    let analysis = analyze_csc(&sg);
+    resolve_csc_analyzed(stg, sg, &analysis, opts)
+}
+
+/// [`resolve_csc_from`] for callers that already analyzed the state
+/// graph's coding (`analysis` must be `analyze_csc(&sg)`); the resolver
+/// never re-analyzes a graph it was handed an analysis for — each STG
+/// in the search is analyzed exactly once.
+///
+/// # Errors
+///
+/// See [`resolve_csc`].
+pub fn resolve_csc_analyzed(
+    stg: &Stg,
+    sg: StateGraph,
+    analysis: &CscReport,
+    opts: &CscOptions,
+) -> Result<CscResolution> {
     let mut current = stg.clone();
     let mut sg = sg;
+    let mut conflicts = analysis.num_csc_conflicts();
     let mut inserted: Vec<String> = Vec::new();
     loop {
-        let conflicts = analyze_csc(&sg).num_csc_conflicts();
         if conflicts == 0 {
             return Ok(CscResolution {
                 stg: current,
@@ -90,9 +108,10 @@ pub fn resolve_csc_from(stg: &Stg, sg: StateGraph, opts: &CscOptions) -> Result<
         }
         let name = format!("csc{}", inserted.len());
         match best_insertion(&current, &name, conflicts, opts) {
-            Some((stg2, sg2)) => {
+            Some((stg2, sg2, remaining)) => {
                 current = stg2;
                 sg = sg2;
+                conflicts = remaining;
                 inserted.push(name);
             }
             None => {
@@ -106,13 +125,14 @@ pub fn resolve_csc_from(stg: &Stg, sg: StateGraph, opts: &CscOptions) -> Result<
 }
 
 /// Tries every (x, y) insertion pair; returns the best strictly-improving
-/// candidate.
+/// candidate together with its remaining conflict count (so the caller
+/// never re-analyzes the graph it picked).
 fn best_insertion(
     stg: &Stg,
     signal_name: &str,
     current_conflicts: usize,
     opts: &CscOptions,
-) -> Option<(Stg, StateGraph)> {
+) -> Option<(Stg, StateGraph, usize)> {
     let transitions: Vec<TransitionId> = stg.transitions().collect();
     // Phase 1: collect feasible candidates with their conflict counts.
     let mut feasible: Vec<(usize, Stg, StateGraph)> = Vec::new();
@@ -149,7 +169,7 @@ fn best_insertion(
         .collect();
     pool.into_iter()
         .min_by_key(|(_, _, sg2)| literal_estimate(sg2))
-        .map(|(_, stg2, sg2)| (stg2, sg2))
+        .map(|(c, stg2, sg2)| (stg2, sg2, c))
 }
 
 /// Builds the candidate STG with `name+` inserted after `tx` and `name-`
@@ -246,6 +266,34 @@ b- a+
         let res = resolve_csc(&stg, &CscOptions::default()).unwrap();
         assert!(res.inserted.is_empty());
         assert_eq!(res.sg.num_states(), 4);
+    }
+
+    #[test]
+    fn threaded_analysis_matches_fresh_resolution() {
+        // resolve_csc_from must be exactly resolve_csc_analyzed on the
+        // shared analysis — same insertions, isomorphic result.
+        let stg = parse_g(QMODULE).unwrap();
+        let sg1 = reshuffle_sg::build_state_graph(&stg).unwrap();
+        let sg2 = sg1.clone();
+        let analysis = analyze_csc(&sg1);
+        let a = resolve_csc_from(&stg, sg1, &CscOptions::default()).unwrap();
+        let b = resolve_csc_analyzed(&stg, sg2, &analysis, &CscOptions::default()).unwrap();
+        assert_eq!(a.inserted, b.inserted);
+        assert_eq!(a.sg.fingerprint(), b.sg.fingerprint());
+    }
+
+    #[test]
+    fn resolver_consumes_the_threaded_analysis() {
+        // Handing the resolver an (incorrect) conflict-free report for a
+        // conflicted graph must short-circuit the search: this pins that
+        // the entry analysis is taken from the caller, not recomputed —
+        // i.e. `analyze_csc` runs once per graph across the pipeline.
+        let stg = parse_g(QMODULE).unwrap();
+        let sg = reshuffle_sg::build_state_graph(&stg).unwrap();
+        assert!(analyze_csc(&sg).num_csc_conflicts() > 0);
+        let fake = CscReport::default();
+        let r = resolve_csc_analyzed(&stg, sg, &fake, &CscOptions::default()).unwrap();
+        assert!(r.inserted.is_empty(), "resolver re-ran the analysis");
     }
 
     #[test]

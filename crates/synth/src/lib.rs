@@ -47,7 +47,9 @@ pub mod netlist;
 pub mod verify;
 
 pub use complexgate::{synthesize_complex_gates, ComplexGateImpl};
-pub use csc_insert::{resolve_csc, resolve_csc_from, CscOptions, CscResolution};
+pub use csc_insert::{
+    resolve_csc, resolve_csc_analyzed, resolve_csc_from, CscOptions, CscResolution,
+};
 pub use error::{Result, SynthError};
 pub use func::{
     derive_all_functions, derive_function, literal_estimate, ConflictPolicy, SignalFunction,

@@ -1,12 +1,15 @@
 //! Cross-crate integration: parse a `.g` STG, build the state graph,
 //! check coding, derive next-state logic, and run the facade pipeline —
-//! the first test that exercises every layer together.
+//! plus the golden-corpus regression suite that pins literal counts and
+//! signal sets for every example in `reshuffle_bench::examples`.
 
-use reshuffle::{synthesize, synthesize_with, PipelineError, PipelineOptions};
-use reshuffle_bench::examples::XYZ_G;
+use reshuffle::{
+    synthesize, synthesize_with, PipelineError, PipelineOptions, ReduceOptions, Synthesis,
+};
+use reshuffle_bench::examples::{self, XYZ_G};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::{build_state_graph, csc::analyze_csc, props::speed_independence};
-use reshuffle_synth::{derive_all_functions, verify_against_sg, ConflictPolicy};
+use reshuffle_synth::{derive_all_functions, literal_estimate, verify_against_sg, ConflictPolicy};
 use reshuffle_timing::{simulate, DelayModel, SimOptions};
 
 #[test]
@@ -55,5 +58,112 @@ fn facade_rejects_malformed_sources_by_stage() {
     match synthesize_with(inconsistent, &PipelineOptions::default()) {
         Err(PipelineError::Parse(_)) | Err(PipelineError::StateGraph(_)) => {}
         other => panic!("expected staged failure, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden-corpus regression suite.
+//
+// Every example in `reshuffle_bench::examples::ALL` is synthesized
+// twice — with the default pipeline and with the concurrency-reduction
+// stage enabled — and the outcome is rendered to one line per run:
+// literal count, sorted signal set, inserted state signals, and (for
+// the reduce pass) the serializing moves applied. The lines must match
+// `GOLDEN` exactly.
+//
+// To re-bless after an intentional change: run
+//   cargo test -q golden_corpus -- --nocapture
+// and replace the body of `GOLDEN` with the `actual:` block the
+// failure prints (one copy-paste edit).
+// ---------------------------------------------------------------------
+
+/// Expected outcome lines, one per (example, mode), in corpus order.
+const GOLDEN: &[&str] = &[
+    "toggle   default lits=1 signals=[a,b] inserted=[]",
+    "toggle   reduce  lits=1 signals=[a,b] inserted=[] moves=[]",
+    "xyz      default lits=2 signals=[x,y,z] inserted=[]",
+    "xyz      reduce  lits=2 signals=[x,y,z] inserted=[] moves=[]",
+    "lr       default lits=2 signals=[la,lr,ra,rr] inserted=[]",
+    "lr       reduce  lits=2 signals=[la,lr,ra,rr] inserted=[] moves=[]",
+    "mmu      default lits=4 signals=[x,y1,y2,y3,y4] inserted=[]",
+    "mmu      reduce  lits=4 signals=[x,y1,y2,y3,y4] inserted=[] moves=[]",
+    "par      default lits=8 signals=[a1,a2,done,go,r1,r2] inserted=[]",
+    "par      reduce  lits=3 signals=[a1,a2,done,go,r1,r2] inserted=[] moves=[a1- -> r2-,a1+ -> r2+]",
+    "mfig1    default error=synthesis: CSC resolution stalled with 1 conflicts after inserting 0 signals",
+    "mfig1    reduce  lits=1 signals=[Ack,Req] inserted=[] moves=[Ack- -> Req+]",
+    "creq     default lits=11 signals=[Ack,Go,Req,csc0] inserted=[csc0]",
+    "creq     reduce  lits=2 signals=[Ack,Go,Req] inserted=[] moves=[Go- -> Req+]",
+];
+
+/// Renders one synthesis outcome as a golden line.
+fn golden_line(name: &str, mode: &str, result: &Result<Synthesis, PipelineError>) -> String {
+    match result {
+        Err(e) => format!("{name:<8} {mode:<7} error={e}"),
+        Ok(s) => {
+            let mut signals: Vec<&str> = s
+                .netlist
+                .signals()
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect();
+            signals.sort_unstable();
+            let mut line = format!(
+                "{name:<8} {mode:<7} lits={} signals=[{}] inserted=[{}]",
+                literal_estimate(&s.sg),
+                signals.join(","),
+                s.inserted.join(","),
+            );
+            if mode == "reduce" {
+                line.push_str(&format!(" moves=[{}]", s.moves.join(",")));
+            }
+            line
+        }
+    }
+}
+
+#[test]
+fn golden_corpus() {
+    let reduce_opts = PipelineOptions {
+        reduce: Some(ReduceOptions::default()),
+        ..Default::default()
+    };
+    let mut actual = Vec::new();
+    for (name, src) in examples::ALL {
+        actual.push(golden_line(
+            name,
+            "default",
+            &synthesize_with(src, &PipelineOptions::default()),
+        ));
+        actual.push(golden_line(
+            name,
+            "reduce",
+            &synthesize_with(src, &reduce_opts),
+        ));
+    }
+    let expected: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        actual,
+        expected,
+        "\n== golden corpus drifted; to re-bless, replace GOLDEN with ==\nactual:\n{}\n",
+        actual.join("\n")
+    );
+}
+
+#[test]
+fn golden_corpus_netlists_verify() {
+    // Golden literal counts alone could pin a wrong implementation;
+    // every successfully synthesized netlist must also model-check
+    // against its (possibly transformed) state graph.
+    let reduce_opts = PipelineOptions {
+        reduce: Some(ReduceOptions::default()),
+        ..Default::default()
+    };
+    for (name, src) in examples::ALL {
+        for opts in [&PipelineOptions::default(), &reduce_opts] {
+            if let Ok(s) = synthesize_with(src, opts) {
+                verify_against_sg(&s.sg, &s.netlist)
+                    .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"));
+            }
+        }
     }
 }
