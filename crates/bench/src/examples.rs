@@ -9,7 +9,10 @@
 //! that exercises real concurrency in the state graph, and two
 //! controllers with CSC conflicts born from concurrency — the Section 4
 //! reduction targets: `mfig1` (insertion-unresolvable, reduction saves
-//! it) and `creq` (both paths work; reduction is far cheaper).
+//! it) and `creq` (both paths work; reduction is far cheaper) — and two
+//! *partial* specifications for the Section 3 handshake-expansion
+//! stage: `hslr` (a two-phase left/right channel pair) and `pcreq` (a
+//! partial `creq` whose Req/Ack channel ordering is open).
 
 /// Two-signal toggle: the smallest closed handshake.
 pub const TOGGLE_G: &str = "\
@@ -146,6 +149,50 @@ Go- Ack+
 .end
 ";
 
+/// Partial two-phase left/right coupler: the passive `lr`/`la` channel
+/// and the active `rr`/`ra` channel are declared open (`.handshake`),
+/// their events are toggles, and only the forward latency path
+/// `lr -> rr -> ra -> la` is committed. Handshake expansion enumerates
+/// where the four return-to-zero edges go; the eager extreme costs two
+/// state signals and ~18 literals, while composing with the reduce
+/// stage recovers the sequential converter at 2 literals (the `lr`
+/// entry's logic).
+pub const HSLR_G: &str = "\
+.model hslr
+.inputs lr ra
+.outputs la rr
+.handshake lr la
+.handshake rr ra
+.graph
+lr~ rr~
+rr~ ra~
+ra~ la~
+la~ lr~
+.marking { <la~,lr~> }
+.end
+";
+
+/// Partial `creq`: the `Req`/`Ack` channel ordering is open, and only
+/// the committed behaviour remains — a `Go` pulse follows each
+/// acknowledged request. The lattice ranges from the eager extreme
+/// (return-to-zero concurrent with the pulse: 2 state signals, 16
+/// literals) to reshufflings that serialize `Req-`/`Ack-` behind the
+/// pulse edges; the ranked selection picks `Go+ -> Req-`, `Go- -> Ack-`
+/// at one state signal and 6 literals.
+pub const PCREQ_G: &str = "\
+.model pcreq
+.inputs Ack
+.outputs Req Go
+.handshake Req Ack
+.graph
+Req~ Ack~
+Ack~ Go+
+Go+ Go-
+Go- Req~
+.marking { <Go-,Req~> }
+.end
+";
+
 /// Every example, with its name: the rows of the `tables` report.
 pub const ALL: &[(&str, &str)] = &[
     ("toggle", TOGGLE_G),
@@ -155,11 +202,19 @@ pub const ALL: &[(&str, &str)] = &[
     ("par", PAR_G),
     ("mfig1", MFIG1_G),
     ("creq", CREQ_G),
+    ("hslr", HSLR_G),
+    ("pcreq", PCREQ_G),
 ];
 
+/// The names of [`ALL`] entries that are *partial* specifications
+/// (declared `.handshake` channels): they require the expansion stage
+/// and error out of the default pipeline.
+pub const PARTIAL: &[&str] = &["hslr", "pcreq"];
+
 /// The names of [`ALL`] entries whose specifications have CSC conflicts
-/// (every other example is CSC-clean as specified).
-pub const CSC_CONFLICTED: &[&str] = &["mfig1", "creq"];
+/// (every other example is CSC-clean as specified; partial entries are
+/// judged on their two-phase unfolding).
+pub const CSC_CONFLICTED: &[&str] = &["mfig1", "creq", "pcreq"];
 
 #[cfg(test)]
 mod tests {
@@ -171,6 +226,13 @@ mod tests {
     fn all_examples_parse_build_and_code_as_documented() {
         for (name, src) in ALL {
             let stg = parse_g(src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+            assert_eq!(
+                stg.is_partial(),
+                PARTIAL.contains(name),
+                "{name}: partiality does not match PARTIAL"
+            );
+            // Partial entries still build a (two-phase, parity-unfolded)
+            // state graph for the spec columns of the report.
             let sg = build_state_graph(&stg)
                 .unwrap_or_else(|e| panic!("{name}: state graph failed: {e}"));
             assert!(sg.num_states() >= 4, "{name}: degenerate state graph");

@@ -5,15 +5,20 @@
 //! Asynchronous Systems* — into one pipeline:
 //!
 //! 1. parse an astg (`.g`) specification ([`petri`]);
-//! 2. build the binary-encoded state graph ([`sg`]);
-//! 3. check speed independence and Complete State Coding ([`sg`]);
-//! 4. optionally reduce concurrency (Section 4, [`reduce`]) — run
+//! 2. if the specification is *partial* (open `.handshake` channels,
+//!    two-phase toggle events), expand it: enumerate the reshuffling
+//!    lattice (Section 3, [`handshake`]), run every surviving candidate
+//!    through the rest of the pipeline in parallel, and keep the best
+//!    by (state signals inserted, literal estimate, timed cycle);
+//! 3. build the binary-encoded state graph ([`sg`]);
+//! 4. check speed independence and Complete State Coding ([`sg`]);
+//! 5. optionally reduce concurrency (Section 4, [`reduce`]) — run
 //!    before CSC resolution so serializations that dissolve conflicts
 //!    are preferred over state-signal insertion;
-//! 5. resolve remaining CSC conflicts by state-signal insertion
+//! 6. resolve remaining CSC conflicts by state-signal insertion
 //!    ([`synth`]);
-//! 6. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
-//! 7. verify the mapped netlist against the specification ([`synth`]).
+//! 7. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
+//! 8. verify the mapped netlist against the specification ([`synth`]).
 //!
 //! The one-call entry point is [`synthesize`]; [`synthesize_with`]
 //! exposes the intermediate artifacts and the knobs.
@@ -56,8 +61,9 @@ pub use reshuffle_handshake as handshake;
 /// Concurrency reduction ([`reshuffle_reduce`]).
 pub use reshuffle_reduce as reduce;
 
+pub use reshuffle_handshake::{ExpansionOptions, HandshakeError, Reshuffling};
 pub use reshuffle_petri::{parse_g, PetriError, Stg};
-pub use reshuffle_reduce::{ReduceError, ReduceOptions};
+pub use reshuffle_reduce::{MoveStep, ReduceError, ReduceOptions};
 pub use reshuffle_sg::{build_state_graph, SgError, StateGraph};
 pub use reshuffle_synth::{CscOptions, Library, Netlist, SynthError};
 pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
@@ -67,6 +73,9 @@ pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
 pub enum PipelineError {
     /// The `.g` source failed to parse or violated the token game.
     Parse(PetriError),
+    /// Handshake expansion failed, or a partial specification reached
+    /// the pipeline without the expansion stage enabled.
+    Expand(HandshakeError),
     /// State-graph construction failed (inconsistent coding, budget, …).
     StateGraph(SgError),
     /// The specification is not speed-independent (determinism,
@@ -88,6 +97,7 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::Expand(e) => write!(f, "expansion: {e}"),
             PipelineError::StateGraph(e) => write!(f, "state graph: {e}"),
             PipelineError::NotSpeedIndependent { violations } => write!(
                 f,
@@ -104,6 +114,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Parse(e) => Some(e),
+            PipelineError::Expand(e) => Some(e),
             PipelineError::StateGraph(e) => Some(e),
             PipelineError::NotSpeedIndependent { .. } => None,
             PipelineError::Reduce(e) => Some(e),
@@ -116,6 +127,12 @@ impl std::error::Error for PipelineError {
 impl From<ReduceError> for PipelineError {
     fn from(e: ReduceError) -> Self {
         PipelineError::Reduce(e)
+    }
+}
+
+impl From<HandshakeError> for PipelineError {
+    fn from(e: HandshakeError) -> Self {
+        PipelineError::Expand(e)
     }
 }
 
@@ -161,6 +178,14 @@ pub enum ImplStyle {
 pub struct PipelineOptions {
     /// Implementation style (complex gate by default).
     pub style: ImplStyle,
+    /// Opt-in handshake-expansion stage (Section 3) for *partial*
+    /// specifications: enumerate the reshuffling lattice, synthesize
+    /// every surviving candidate (composing with the `reduce` stage if
+    /// enabled) and keep the best by (state signals inserted, literal
+    /// estimate, timed cycle). `None` (the default) rejects partial
+    /// specifications with [`PipelineError::Expand`]; complete
+    /// specifications pass through the stage untouched.
+    pub expand: Option<ExpansionOptions>,
     /// Opt-in concurrency-reduction stage (Section 4), run *before* CSC
     /// resolution so reductions that dissolve conflicts are preferred
     /// over state-signal insertion. `None` (the default) skips it.
@@ -186,6 +211,14 @@ pub struct Synthesis {
     /// Serializing moves applied by the concurrency-reduction stage
     /// (empty when the stage was skipped or found nothing to improve).
     pub moves: Vec<String>,
+    /// The reduction's winning path with per-move statistics (parallel
+    /// to `moves`; what `tables --moves` renders as deltas).
+    pub move_steps: Vec<MoveStep>,
+    /// Ordering choices of the winning reshuffling when the
+    /// handshake-expansion stage ran on a partial specification
+    /// (empty for the eager extreme, complete inputs, or when the
+    /// stage was disabled).
+    pub expansion: Vec<String>,
 }
 
 /// Runs the full pipeline on `.g` source text and returns the mapped
@@ -212,12 +245,117 @@ pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthes
 
 /// Runs the pipeline on an already-parsed STG.
 ///
+/// Partial specifications (declared `.handshake` channels or toggle
+/// events) are routed through the handshake-expansion stage when
+/// [`PipelineOptions::expand`] is set, and rejected with
+/// [`PipelineError::Expand`] otherwise.
+///
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
 pub fn synthesize_stg(spec: &Stg, opts: &PipelineOptions) -> Result<Synthesis> {
+    if spec.is_partial() {
+        let Some(eopts) = &opts.expand else {
+            return Err(PipelineError::Expand(HandshakeError::NotExpanded));
+        };
+        return expand_and_select(spec, eopts, opts);
+    }
     let sg0 = build_state_graph(spec)?;
     synthesize_stg_from(spec, sg0, opts)
+}
+
+/// Search priority of a candidate reshuffling: state signals inserted
+/// (the cost of resolving CSC), then the literal estimate, then the
+/// timed cycle (as order-preserving bits), then enumeration order —
+/// the same lexicographic shape the reduce stage optimizes.
+type ExpandScore = (usize, u32, u64, usize);
+
+/// The Section 3 selection loop: synthesize every enumerated
+/// reshuffling (each composes with the reduce stage if enabled) and
+/// keep the lexicographically best. Candidates are independent, so they
+/// are evaluated in parallel by a scoped worker pool bounded at the
+/// machine's parallelism (a thread per candidate would oversubscribe on
+/// large lattices).
+fn expand_and_select(
+    spec: &Stg,
+    eopts: &ExpansionOptions,
+    opts: &PipelineOptions,
+) -> Result<Synthesis> {
+    let candidates = reshuffle_handshake::expand_handshakes(spec, eopts)?;
+    let inner = PipelineOptions {
+        expand: None,
+        ..opts.clone()
+    };
+    // Score cycles under the same delay model the reduce stage uses.
+    let (input_delay, gate_delay) = match &opts.reduce {
+        Some(r) => (r.input_delay, r.gate_delay),
+        None => (2.0, 1.0),
+    };
+    let evaluate = |c: &Reshuffling| -> Result<(Synthesis, f64)> {
+        let s = synthesize_stg_from(&c.stg, c.sg.clone(), &inner)?;
+        let delays = DelayModel::uniform(&s.stg, input_delay, gate_delay);
+        let run = simulate(&s.stg, &delays, &SimOptions::default())?;
+        Ok((s, run.period))
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(candidates.len())
+        .max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut outcomes: Vec<Option<Result<(Synthesis, f64)>>> =
+        (0..candidates.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(c) = candidates.get(i) else { break };
+                        local.push((i, evaluate(c)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("reshuffling evaluation panicked") {
+                outcomes[i] = Some(r);
+            }
+        }
+    });
+    let outcomes: Vec<Result<(Synthesis, f64)>> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every candidate evaluated"))
+        .collect();
+
+    let mut best: Option<(ExpandScore, usize)> = None;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let Ok((s, cycle)) = outcome else { continue };
+        let score: ExpandScore = (
+            s.inserted.len(),
+            reshuffle_synth::literal_estimate(&s.sg),
+            cycle.to_bits(),
+            i,
+        );
+        if !matches!(best, Some((b, _)) if b <= score) {
+            best = Some((score, i));
+        }
+    }
+    match best {
+        Some((_, i)) => {
+            let (mut s, _) = outcomes.into_iter().nth(i).unwrap().unwrap();
+            s.expansion = candidates[i].choices.clone();
+            Ok(s)
+        }
+        // Every reshuffling failed synthesis; surface the eager
+        // extreme's error as the representative one.
+        None => Err(outcomes
+            .into_iter()
+            .find_map(|o| o.err())
+            .unwrap_or(PipelineError::Expand(HandshakeError::NoFeasibleReshuffling))),
+    }
 }
 
 /// [`synthesize_stg`] for callers that already built the
@@ -232,6 +370,9 @@ pub fn synthesize_stg_from(
     sg0: StateGraph,
     opts: &PipelineOptions,
 ) -> Result<Synthesis> {
+    if spec.is_partial() {
+        return Err(PipelineError::Expand(HandshakeError::NotExpanded));
+    }
     let si = reshuffle_sg::props::speed_independence(&sg0);
     if !si.is_speed_independent() {
         return Err(PipelineError::NotSpeedIndependent {
@@ -247,11 +388,11 @@ pub fn synthesize_stg_from(
     // construction, so the gate above still covers the reduced graph;
     // it also reports the reduced graph's conflict count, which lets a
     // conflict-free reduction skip the coding analysis below entirely.
-    let (spec, sg0, moves, known_conflicts) = match &opts.reduce {
-        None => (spec.clone(), sg0, Vec::new(), None),
+    let (spec, sg0, moves, move_steps, known_conflicts) = match &opts.reduce {
+        None => (spec.clone(), sg0, Vec::new(), Vec::new(), None),
         Some(ropts) => {
             let r = reshuffle_reduce::reduce_concurrency_from(spec, sg0, ropts)?;
-            (r.stg, r.sg, r.moves, Some(r.csc_conflicts))
+            (r.stg, r.sg, r.moves, r.steps, Some(r.csc_conflicts))
         }
     };
 
@@ -284,6 +425,8 @@ pub fn synthesize_stg_from(
         netlist,
         inserted,
         moves,
+        move_steps,
+        expansion: Vec::new(),
     })
 }
 
@@ -400,6 +543,9 @@ Req+ Ack+
         };
         let s = synthesize_with(MFIG1_G, &opts).unwrap();
         assert_eq!(s.moves, vec!["Ack- -> Req+".to_string()]);
+        // The per-move trajectory rides along for reporting.
+        assert_eq!(s.move_steps.len(), 1);
+        assert_eq!(s.move_steps[0].label, s.moves[0]);
         assert!(s.inserted.is_empty());
         assert_eq!(s.sg.num_states(), 4);
     }
@@ -428,6 +574,77 @@ Req+ Ack+
             Err(PipelineError::Reduce(ReduceError::NoFeasibleReduction)) => {}
             other => panic!("expected infeasible-reduction error, got {other:?}"),
         }
+    }
+
+    /// Partial request/acknowledge controller with a committed Go
+    /// pulse: the channel's return-to-zero edges are free to reshuffle
+    /// around the pulse.
+    const PCREQ_G: &str = "\
+.model pcreq
+.inputs Ack
+.outputs Req Go
+.handshake Req Ack
+.graph
+Req~ Ack~
+Ack~ Go+
+Go+ Go-
+Go- Req~
+.marking { <Go-,Req~> }
+.end
+";
+
+    #[test]
+    fn partial_specs_require_the_expand_stage() {
+        match synthesize(PCREQ_G) {
+            Err(PipelineError::Expand(HandshakeError::NotExpanded)) => {}
+            other => panic!("expected NotExpanded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expand_stage_selects_a_reshuffling() {
+        let opts = PipelineOptions {
+            expand: Some(ExpansionOptions::default()),
+            ..Default::default()
+        };
+        let s = synthesize_with(PCREQ_G, &opts).unwrap();
+        // The winner serializes Req- behind Go+ and Ack- behind Go-:
+        // one state signal and 6 literals, against the eager extreme's
+        // two signals and 16 literals.
+        assert_eq!(
+            s.expansion,
+            vec!["Go+ -> Req-".to_string(), "Go- -> Ack-".to_string()]
+        );
+        assert_eq!(s.inserted, vec!["csc0".to_string()]);
+        assert!(!s.stg.is_partial());
+        assert_eq!(s.netlist.signals().len(), 4);
+    }
+
+    #[test]
+    fn expand_stage_is_identity_on_complete_specs() {
+        let opts = PipelineOptions {
+            expand: Some(ExpansionOptions::default()),
+            ..Default::default()
+        };
+        let s = synthesize_with(XYZ_G, &opts).unwrap();
+        assert!(s.expansion.is_empty());
+        assert_eq!(s.sg.num_states(), 6);
+    }
+
+    #[test]
+    fn expand_stage_composes_with_reduce() {
+        let opts = PipelineOptions {
+            expand: Some(ExpansionOptions::default()),
+            reduce: Some(ReduceOptions::default()),
+            ..Default::default()
+        };
+        let s = synthesize_with(PCREQ_G, &opts).unwrap();
+        // With the reduce stage composed per candidate, serializing
+        // moves dissolve every conflict: no state signal at all beats
+        // the expansion-only winner.
+        assert!(s.inserted.is_empty());
+        assert!(!s.moves.is_empty());
+        assert_eq!(s.netlist.signals().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Two-phase → four-phase expansion: the *base* (maximally concurrent)
+//! expansion of a partial specification.
+//!
+//! Every declared channel's toggles are rewritten to the four-phase
+//! protocol by [`reshuffle_petri::structural::expand_channel_four_phase`];
+//! the return-to-zero transitions are constrained only by the protocol
+//! arcs, so the base expansion is the top of the reshuffling lattice —
+//! everything else is a serialization of it.
+
+use reshuffle_petri::structural::expand_channel_four_phase;
+use reshuffle_petri::{Polarity, Stg, TransitionId};
+use reshuffle_sg::{build_state_graph, StateGraph};
+
+use crate::{HandshakeError, Result};
+
+/// The base expansion of a partial specification.
+#[derive(Debug)]
+pub(crate) struct BaseExpansion {
+    /// The expanded STG (no channels, no toggles left).
+    pub stg: Stg,
+    /// Its state graph.
+    pub sg: StateGraph,
+    /// The return-to-zero transitions of every channel, in channel
+    /// order (`req-`, `ack-` per channel).
+    pub rtz: Vec<TransitionId>,
+}
+
+/// Expands every declared channel of `spec` to four phases with
+/// maximally concurrent return-to-zero edges.
+///
+/// # Errors
+///
+/// * [`HandshakeError::MalformedChannel`] if a channel's signals do not
+///   carry exactly one toggle transition each;
+/// * [`HandshakeError::UnboundToggle`] if a toggle remains that belongs
+///   to no declared channel;
+/// * [`HandshakeError::Sg`] if the expanded net has no state graph
+///   (e.g. a mid-handshake initial marking makes it unsafe).
+pub(crate) fn four_phase_base(spec: &Stg) -> Result<BaseExpansion> {
+    let mut stg = spec.clone();
+    let mut rtz = Vec::new();
+    while !stg.handshakes().is_empty() {
+        let channel = stg.handshakes()[0];
+        let exp = expand_channel_four_phase(&mut stg, 0).map_err(|e| {
+            HandshakeError::MalformedChannel {
+                channel: format!(
+                    "{}/{}",
+                    spec.signal(channel.req).name,
+                    spec.signal(channel.ack).name
+                ),
+                message: e.to_string(),
+            }
+        })?;
+        rtz.push(exp.req_fall);
+        rtz.push(exp.ack_fall);
+    }
+    if let Some(t) = stg
+        .transitions()
+        .find(|&t| stg.edge_of(t).map(|e| e.polarity) == Some(Polarity::Toggle))
+    {
+        let signal = stg.edge_of(t).unwrap().signal;
+        return Err(HandshakeError::UnboundToggle {
+            signal: stg.signal(signal).name.clone(),
+        });
+    }
+    stg.validate()
+        .map_err(|e| HandshakeError::MalformedChannel {
+            channel: "-".into(),
+            message: e.to_string(),
+        })?;
+    let sg = build_state_graph(&stg)?;
+    Ok(BaseExpansion { stg, sg, rtz })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshuffle_petri::parse_g;
+
+    #[test]
+    fn base_expansion_of_a_single_channel() {
+        let spec = parse_g(
+            ".model hs\n.inputs a\n.outputs r\n.handshake r a\n.graph\n\
+             r~ a~\na~ r~\n.marking { <a~,r~> }\n.end\n",
+        )
+        .unwrap();
+        let base = four_phase_base(&spec).unwrap();
+        assert!(!base.stg.is_partial());
+        assert_eq!(base.rtz.len(), 2);
+        // Pure protocol cycle: r+ a+ r- a-, sequential -> 4 states.
+        assert_eq!(base.sg.num_states(), 4);
+    }
+
+    #[test]
+    fn unbound_toggles_are_reported() {
+        let spec = parse_g(
+            ".model t2\n.inputs a\n.outputs b\n.graph\na~ b~\nb~ a~\n\
+             .marking { <b~,a~> }\n.end\n",
+        )
+        .unwrap();
+        let e = four_phase_base(&spec).unwrap_err();
+        assert!(
+            matches!(e, HandshakeError::UnboundToggle { ref signal } if signal == "a"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_channels_are_reported() {
+        // The channel's ack also has rise/fall events.
+        let spec = parse_g(
+            ".model m\n.inputs a\n.outputs r\n.handshake r a\n.graph\n\
+             r~ a+\na+ a-\na- r~\n.marking { <a-,r~> }\n.end\n",
+        )
+        .unwrap();
+        let e = four_phase_base(&spec).unwrap_err();
+        assert!(
+            matches!(e, HandshakeError::MalformedChannel { .. }),
+            "{e:?}"
+        );
+    }
+}

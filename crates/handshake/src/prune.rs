@@ -1,0 +1,87 @@
+//! Pruning of enumerated reshufflings.
+//!
+//! A lattice point survives only if its serialized state graph is still
+//! 1-safe (the incremental product construction rejects unsafe
+//! rewrites), deadlock-free, live (every event still fires) and
+//! speed-independent, and only if no earlier candidate was the same
+//! graph (implied orderings collapse points) or a mirror image of it
+//! under a signal automorphism of the base expansion (symmetric
+//! channels are dominated: a reshuffling and its mirror synthesize to
+//! relabelled copies of the same circuit).
+
+use reshuffle_petri::structural::{insert_causal_place, map_transition};
+use reshuffle_petri::{SignalId, Stg, TransitionId};
+use reshuffle_sg::props::{all_events_fire, speed_independence};
+use reshuffle_sg::restrict::restrict_with_place;
+use reshuffle_sg::EventId;
+
+use crate::expand::BaseExpansion;
+use crate::Reshuffling;
+
+/// Applies one lattice point's constraints to the base expansion and
+/// runs the semantic gates. `None` means the point is pruned.
+pub(crate) fn realize(
+    base: &BaseExpansion,
+    constraints: &[(TransitionId, TransitionId)],
+) -> Option<Reshuffling> {
+    let mut sg = base.sg.clone();
+    for &(before, rtz) in constraints {
+        sg = restrict_with_place(&sg, &[EventId(before.0)], &[EventId(rtz.0)]).ok()?;
+    }
+    if !sg.deadlock_states().is_empty() || !all_events_fire(&sg) {
+        return None;
+    }
+    if !speed_independence(&sg).is_speed_independent() {
+        return None;
+    }
+    let mut stg = base.stg.clone();
+    let mut choices = Vec::with_capacity(constraints.len());
+    for &(before, rtz) in constraints {
+        insert_causal_place(&mut stg, before, rtz).ok()?;
+        choices.push(format!(
+            "{} -> {}",
+            base.stg.transition_name(before),
+            base.stg.transition_name(rtz)
+        ));
+    }
+    Some(Reshuffling { stg, sg, choices })
+}
+
+/// A canonical key for a constraint set modulo the base expansion's
+/// signal automorphisms: the lexicographically least rendering over the
+/// identity and every automorphism. Two mirror-image reshufflings share
+/// a key; the first one enumerated wins.
+pub(crate) fn canonical_choice_key(
+    stg: &Stg,
+    constraints: &[(TransitionId, TransitionId)],
+    autos: &[Vec<SignalId>],
+) -> String {
+    let render = |map: Option<&Vec<SignalId>>| -> Option<String> {
+        let mut labels = Vec::with_capacity(constraints.len());
+        for &(before, rtz) in constraints {
+            let (b, r) = match map {
+                None => (before, rtz),
+                Some(p) => (
+                    map_transition(stg, before, p)?,
+                    map_transition(stg, rtz, p)?,
+                ),
+            };
+            labels.push(format!(
+                "{} -> {}",
+                stg.transition_name(b),
+                stg.transition_name(r)
+            ));
+        }
+        labels.sort_unstable();
+        Some(labels.join("; "))
+    };
+    let mut best = render(None).expect("identity rendering cannot fail");
+    for p in autos {
+        if let Some(alt) = render(Some(p)) {
+            if alt < best {
+                best = alt;
+            }
+        }
+    }
+    best
+}

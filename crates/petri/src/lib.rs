@@ -49,5 +49,5 @@ pub use marking::Marking;
 pub use net::PetriNet;
 pub use parse::parse_g;
 pub use reach::{ReachabilityGraph, DEFAULT_STATE_BUDGET};
-pub use stg::{Polarity, Signal, SignalEdge, SignalKind, Stg, TransLabel};
+pub use stg::{Handshake, Polarity, Signal, SignalEdge, SignalKind, Stg, TransLabel};
 pub use write::{write_dot, write_g};

@@ -1,7 +1,8 @@
 //! Reader for the astg (`.g`) format used by petrify, SIS and Workcraft.
 //!
 //! Supported directives: `.model`, `.inputs`, `.outputs`, `.internal`,
-//! `.dummy`, `.graph`, `.marking`, `.end`, plus `#` comments. Arcs
+//! `.dummy`, `.handshake` (partial specifications: an unordered req/ack
+//! channel pair), `.graph`, `.marking`, `.end`, plus `#` comments. Arcs
 //! between two transitions create *implicit places* named `<src,dst>`;
 //! the `.marking` section accepts both explicit place names and implicit
 //! places in angle brackets. Transition labels may carry instance
@@ -108,6 +109,20 @@ pub fn parse_g(text: &str) -> Result<Stg> {
                     stg.add_signal(w, kind)
                         .map_err(|e| err(lineno, e.to_string()))?;
                 }
+            }
+            ".handshake" => {
+                let names: Vec<&str> = words.collect();
+                let [req, ack] = names.as_slice() else {
+                    return Err(err(lineno, "expected `.handshake <req> <ack>`"));
+                };
+                let req = stg
+                    .signal_by_name(req)
+                    .ok_or_else(|| err(lineno, format!("unknown signal `{req}`")))?;
+                let ack = stg
+                    .signal_by_name(ack)
+                    .ok_or_else(|| err(lineno, format!("unknown signal `{ack}`")))?;
+                stg.add_handshake(req, ack)
+                    .map_err(|e| err(lineno, e.to_string()))?;
             }
             ".dummy" => {
                 for w in words {
@@ -441,6 +456,49 @@ a- a+
 ";
         let g = parse_g(src).unwrap();
         assert_eq!(g.net().num_transitions(), 2);
+    }
+
+    #[test]
+    fn handshake_directive_parses() {
+        let src = "\
+.model hs
+.inputs a
+.outputs r
+.handshake r a
+.graph
+r~ a~
+a~ r~
+.marking { <a~,r~> }
+.end
+";
+        let g = parse_g(src).unwrap();
+        assert!(g.is_partial());
+        assert_eq!(g.handshakes().len(), 1);
+        let h = g.handshakes()[0];
+        assert_eq!(g.signal(h.req).name, "r");
+        assert_eq!(g.signal(h.ack).name, "a");
+    }
+
+    #[test]
+    fn handshake_directive_rejects_bad_forms() {
+        let arity = ".model m\n.inputs a\n.outputs r\n.handshake r\n.graph\nr~ a~\na~ r~\n\
+             .marking { <a~,r~> }\n.end\n";
+        assert!(parse_g(arity).is_err());
+        let unknown = ".model m\n.inputs a\n.outputs r\n.handshake r nope\n.graph\nr~ a~\na~ r~\n\
+             .marking { <a~,r~> }\n.end\n";
+        assert!(parse_g(unknown).is_err());
+        let dup = ".model m\n.inputs a b\n.outputs r\n.handshake r a\n.handshake r b\n\
+             .graph\nr~ a~\na~ r~\n.marking { <a~,r~> }\n.end\n";
+        assert!(parse_g(dup).is_err());
+    }
+
+    #[test]
+    fn toggle_without_channel_is_still_partial() {
+        let src = ".model t2\n.inputs a\n.outputs b\n.graph\na~ b~\nb~ a~\n\
+             .marking { <b~,a~> }\n.end\n";
+        let g = parse_g(src).unwrap();
+        assert!(g.handshakes().is_empty());
+        assert!(g.is_partial());
     }
 
     #[test]

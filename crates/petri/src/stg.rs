@@ -109,6 +109,20 @@ pub struct Signal {
     pub kind: SignalKind,
 }
 
+/// A declared handshake channel of a *partial* specification: a req/ack
+/// signal pair whose four-phase ordering is left open (the `.handshake`
+/// directive). The channel's events appear as toggles (`req~`, `ack~`)
+/// in the graph; handshake expansion turns them into the four-phase
+/// protocol and enumerates the legal reshufflings of the
+/// return-to-zero edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handshake {
+    /// The request signal (fires first in every handshake cycle).
+    pub req: SignalId,
+    /// The acknowledge signal (answers the request).
+    pub ack: SignalId,
+}
+
 /// A Signal Transition Graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stg {
@@ -121,6 +135,8 @@ pub struct Stg {
     /// Explicit initial signal values, if known (otherwise inferred by
     /// the state-graph builder).
     initial_values: Vec<Option<bool>>,
+    /// Declared handshake channels whose ordering is still open.
+    handshakes: Vec<Handshake>,
 }
 
 impl Stg {
@@ -133,6 +149,7 @@ impl Stg {
             labels: Vec::new(),
             initial: Marking::empty(0),
             initial_values: Vec::new(),
+            handshakes: Vec::new(),
         }
     }
 
@@ -179,6 +196,59 @@ impl Stg {
     /// when re-classifying interface signals).
     pub fn set_signal_kind(&mut self, s: SignalId, kind: SignalKind) {
         self.signals[s.index()].kind = kind;
+    }
+
+    /// Declares a handshake channel with open (reshufflable) ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::Structural`] if `req == ack` or either
+    /// signal already belongs to a declared channel.
+    pub fn add_handshake(&mut self, req: SignalId, ack: SignalId) -> Result<()> {
+        if req == ack {
+            return Err(PetriError::Structural(format!(
+                "handshake req and ack must differ (both are `{}`)",
+                self.signals[req.index()].name
+            )));
+        }
+        for h in &self.handshakes {
+            for s in [h.req, h.ack] {
+                if s == req || s == ack {
+                    return Err(PetriError::Structural(format!(
+                        "signal `{}` already belongs to a handshake channel",
+                        self.signals[s.index()].name
+                    )));
+                }
+            }
+        }
+        self.handshakes.push(Handshake { req, ack });
+        Ok(())
+    }
+
+    /// The declared handshake channels whose ordering is still open.
+    pub fn handshakes(&self) -> &[Handshake] {
+        &self.handshakes
+    }
+
+    /// Removes a declared channel (after it has been expanded).
+    pub fn remove_handshake(&mut self, index: usize) -> Handshake {
+        self.handshakes.remove(index)
+    }
+
+    /// True if any transition carries a toggle (`a~`) label.
+    pub fn has_toggle_transitions(&self) -> bool {
+        self.labels
+            .iter()
+            .any(|l| matches!(l.edge().map(|e| e.polarity), Some(Polarity::Toggle)))
+    }
+
+    /// True if the specification is *partial* in the paper's sense:
+    /// it declares unordered handshake channels and/or uses two-phase
+    /// toggle events, so the ordering of the four-phase protocol edges
+    /// is not yet committed. Partial specifications must go through
+    /// handshake expansion before synthesis.
+    pub fn is_partial(&self) -> bool {
+        !self.handshakes.is_empty() || self.has_toggle_transitions()
     }
 
     /// Adds a transition labelled with a signal edge. The instance number
@@ -382,6 +452,34 @@ impl Stg {
         let name = self.render_label(&label);
         self.labels[t.index()] = label;
         self.net.set_transition_name(t, name);
+        self.refresh_implicit_place_names(t);
+    }
+
+    /// Re-derives the conventional `<producer,consumer>` names of the
+    /// implicit places adjacent to `t` after its display name changed,
+    /// so `.marking` round-trips through [`crate::write_g`].
+    fn refresh_implicit_place_names(&mut self, t: TransitionId) {
+        let adjacent: Vec<PlaceId> = self
+            .net
+            .preset(t)
+            .iter()
+            .chain(self.net.postset(t))
+            .copied()
+            .collect();
+        for p in adjacent {
+            if !self.net.place_name(p).starts_with('<') {
+                continue;
+            }
+            let (&[a], &[b]) = (self.net.producers(p), self.net.consumers(p)) else {
+                continue;
+            };
+            let name = format!(
+                "<{},{}>",
+                self.net.transition_name(a),
+                self.net.transition_name(b)
+            );
+            self.net.set_place_name(p, name);
+        }
     }
 
     /// Basic sanity checks: marking sized to the net, every edge label

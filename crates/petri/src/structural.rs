@@ -7,7 +7,7 @@
 
 use crate::error::{PetriError, Result};
 use crate::ids::{PlaceId, SignalId, TransitionId};
-use crate::stg::{Polarity, Stg};
+use crate::stg::{Polarity, SignalEdge, Stg, TransLabel};
 
 /// Inserts a causal constraint *"`to` waits for `from`"*: a fresh place
 /// with arcs `from -> p -> to`. This is the STG counterpart of forward
@@ -95,6 +95,240 @@ pub fn check_no_stranded_tokens(stg: &Stg) -> Result<usize> {
         }
     }
     Ok(isolated)
+}
+
+/// The four protocol transitions of one expanded handshake channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelExpansion {
+    /// `req+` (the relabelled `req~`).
+    pub req_rise: TransitionId,
+    /// The fresh `req-` return-to-zero transition.
+    pub req_fall: TransitionId,
+    /// `ack+` (the relabelled `ack~`).
+    pub ack_rise: TransitionId,
+    /// The fresh `ack-` return-to-zero transition.
+    pub ack_fall: TransitionId,
+}
+
+/// Expands the declared handshake channel at `channel` from its
+/// two-phase (toggle) form to the four-phase protocol, leaving the
+/// return-to-zero edges *maximally concurrent*: `req~`/`ack~` are
+/// relabelled `req+`/`ack+` in place (keeping their causal context),
+/// fresh `req-`/`ack-` transitions are constrained only by the protocol
+/// arcs `ack+ -> req- -> ack- -> req+`, and the `ack- -> req+` idle
+/// place starts marked so the first handshake can begin. The channel is
+/// removed from the declaration list — its ordering is now (maximally
+/// concurrently) committed; reshuffling enumeration serializes from
+/// here.
+///
+/// Assumes the channel starts *idle* (the initial marking precedes its
+/// `req~`); a mid-handshake initial marking makes the expanded net
+/// unsafe or inconsistent, which the state-graph builder reports.
+///
+/// # Errors
+///
+/// Returns [`PetriError::Structural`] if there is no such channel or if
+/// either channel signal does not have exactly one transition, labelled
+/// as a toggle.
+pub fn expand_channel_four_phase(stg: &mut Stg, channel: usize) -> Result<ChannelExpansion> {
+    let Some(&h) = stg.handshakes().get(channel) else {
+        return Err(PetriError::Structural(format!(
+            "no handshake channel #{channel}"
+        )));
+    };
+    let single_toggle = |stg: &Stg, s: SignalId| -> Result<TransitionId> {
+        let all = stg.transitions_of_signal(s);
+        let toggles = stg.transitions_of_edge(SignalEdge {
+            signal: s,
+            polarity: Polarity::Toggle,
+        });
+        match (all.len(), toggles.as_slice()) {
+            (1, &[t]) => Ok(t),
+            _ => Err(PetriError::Structural(format!(
+                "channel signal `{}` needs exactly one toggle transition \
+                 (found {} transitions, {} toggles)",
+                stg.signal(s).name,
+                all.len(),
+                toggles.len()
+            ))),
+        }
+    };
+    let req_rise = single_toggle(stg, h.req)?;
+    let ack_rise = single_toggle(stg, h.ack)?;
+    stg.relabel_transition(req_rise, h.req, Polarity::Rise);
+    stg.relabel_transition(ack_rise, h.ack, Polarity::Rise);
+    let req_fall = stg.add_edge_transition(h.req, Polarity::Fall);
+    let ack_fall = stg.add_edge_transition(h.ack, Polarity::Fall);
+    stg.connect(ack_rise, req_fall)?;
+    stg.connect(req_fall, ack_fall)?;
+    let idle = stg.connect(ack_fall, req_rise)?;
+    let mut marked: Vec<PlaceId> = stg.initial_marking().iter().collect();
+    marked.push(idle);
+    stg.set_initial_places(&marked);
+    stg.remove_handshake(channel);
+    Ok(ChannelExpansion {
+        req_rise,
+        req_fall,
+        ack_rise,
+        ack_fall,
+    })
+}
+
+/// The image of transition `t` under the signal permutation `perm`
+/// (`perm[i]` is the image of signal *i*): the transition carrying the
+/// same polarity and instance on the image signal. Dummies map to
+/// themselves. `None` if no such transition exists (then `perm` is not
+/// an automorphism).
+pub fn map_transition(stg: &Stg, t: TransitionId, perm: &[SignalId]) -> Option<TransitionId> {
+    match stg.label(t) {
+        TransLabel::Dummy { .. } => Some(t),
+        TransLabel::Edge { edge, instance } => {
+            let image = TransLabel::Edge {
+                edge: SignalEdge {
+                    signal: perm[edge.signal.index()],
+                    polarity: edge.polarity,
+                },
+                instance: *instance,
+            };
+            stg.transition_by_label(&stg.render_label(&image))
+        }
+    }
+}
+
+/// The non-identity signal permutations under which the STG is
+/// invariant: kind-preserving bijections of signals whose induced
+/// transition relabelling (via [`map_transition`]) maps places to
+/// places — same producer/consumer sets, same initial tokens — and
+/// preserves explicit initial values and declared handshake channels.
+///
+/// Symmetric halves of a specification (e.g. the two branches of a
+/// fork/join, or two interchangeable channels) show up here; the
+/// reduction and expansion searches use the permutations to prune
+/// mirror-image candidates. Brute-forces kind-class permutations, so it
+/// returns the conservative answer (no symmetries) beyond 10 signals.
+pub fn signal_automorphisms(stg: &Stg) -> Vec<Vec<SignalId>> {
+    let n = stg.num_signals();
+    if n == 0 || n > 10 {
+        return Vec::new();
+    }
+    // Group signal indices by kind; candidate permutations permute
+    // within groups only.
+    let ids: Vec<SignalId> = stg.signals().collect();
+    let factorial = |k: usize| (1..=k).product::<usize>();
+    let candidates: usize = [
+        crate::stg::SignalKind::Input,
+        crate::stg::SignalKind::Output,
+        crate::stg::SignalKind::Internal,
+    ]
+    .iter()
+    .map(|&kind| factorial(ids.iter().filter(|&&s| stg.signal(s).kind == kind).count()))
+    .product();
+    if candidates > 5040 {
+        return Vec::new(); // conservative: too many kind-class permutations
+    }
+    let mut perms: Vec<Vec<SignalId>> = vec![ids.clone()];
+    for kind_class in [
+        crate::stg::SignalKind::Input,
+        crate::stg::SignalKind::Output,
+        crate::stg::SignalKind::Internal,
+    ] {
+        let class: Vec<usize> = (0..n)
+            .filter(|&i| stg.signal(ids[i]).kind == kind_class)
+            .collect();
+        let class_perms = permutations(&class);
+        let mut next = Vec::new();
+        for base in &perms {
+            for cp in &class_perms {
+                let mut p = base.clone();
+                for (slot, &src) in class.iter().zip(cp) {
+                    p[*slot] = ids[src];
+                }
+                next.push(p);
+            }
+        }
+        perms = next;
+    }
+    perms
+        .into_iter()
+        .filter(|p| p.iter().zip(&ids).any(|(a, b)| a != b))
+        .filter(|p| is_signal_automorphism(stg, p))
+        .collect()
+}
+
+/// All permutations of `items` (Heap's algorithm, iterative order not
+/// guaranteed but deterministic).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = items.to_vec();
+    fn rec(k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..k {
+            rec(k - 1, cur, out);
+            if k % 2 == 0 {
+                cur.swap(i, k - 1);
+            } else {
+                cur.swap(0, k - 1);
+            }
+        }
+    }
+    let k = cur.len();
+    rec(k, &mut cur, &mut out);
+    if out.is_empty() {
+        out.push(Vec::new());
+    }
+    out
+}
+
+/// Checks whether `perm` (image per signal index) preserves the STG.
+fn is_signal_automorphism(stg: &Stg, perm: &[SignalId]) -> bool {
+    for (i, &img) in perm.iter().enumerate() {
+        let src = SignalId::from_index(i);
+        if stg.signal(src).kind != stg.signal(img).kind
+            || stg.initial_value(src) != stg.initial_value(img)
+        {
+            return false;
+        }
+    }
+    // The induced transition mapping must be total.
+    let mut tmap = Vec::with_capacity(stg.net().num_transitions());
+    for t in stg.transitions() {
+        match map_transition(stg, t, perm) {
+            Some(u) => tmap.push(u),
+            None => return false,
+        }
+    }
+    // Handshake channels must map to handshake channels.
+    let channels: Vec<(SignalId, SignalId)> =
+        stg.handshakes().iter().map(|h| (h.req, h.ack)).collect();
+    for h in stg.handshakes() {
+        let image = (perm[h.req.index()], perm[h.ack.index()]);
+        if !channels.contains(&image) {
+            return false;
+        }
+    }
+    // Places must map to places: compare the (producers, consumers,
+    // initially-marked) descriptor multisets before and after mapping.
+    let m0 = stg.initial_marking();
+    let descriptor = |p: PlaceId, map: Option<&[TransitionId]>| {
+        let rename = |t: &TransitionId| match map {
+            Some(m) => m[t.index()].0,
+            None => t.0,
+        };
+        let mut prod: Vec<u32> = stg.net().producers(p).iter().map(rename).collect();
+        let mut cons: Vec<u32> = stg.net().consumers(p).iter().map(rename).collect();
+        prod.sort_unstable();
+        cons.sort_unstable();
+        (prod, cons, m0.contains(p))
+    };
+    let relevant = || stg.places().filter(|&p| !stg.net().is_isolated_place(p));
+    let mut original: Vec<_> = relevant().map(|p| descriptor(p, None)).collect();
+    let mut mapped: Vec<_> = relevant().map(|p| descriptor(p, Some(&tmap))).collect();
+    original.sort_unstable();
+    mapped.sort_unstable();
+    original == mapped
 }
 
 /// Mirrors the interface of an STG: inputs become outputs and vice versa
@@ -189,6 +423,83 @@ mod tests {
         marked.push(lonely);
         g.set_initial_places(&marked);
         assert!(check_no_stranded_tokens(&g).is_err());
+    }
+
+    /// A partial two-phase handshake: `r~ -> a~ -> r~` with a declared
+    /// channel.
+    fn partial_channel() -> Stg {
+        crate::parse::parse_g(
+            ".model hs\n.inputs a\n.outputs r\n.handshake r a\n.graph\n\
+             r~ a~\na~ r~\n.marking { <a~,r~> }\n.end\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn four_phase_expansion_builds_the_protocol() {
+        let mut g = partial_channel();
+        assert!(g.is_partial());
+        let exp = expand_channel_four_phase(&mut g, 0).unwrap();
+        assert!(!g.is_partial(), "expansion must consume the channel");
+        assert_eq!(g.transition_name(exp.req_rise), "r+");
+        assert_eq!(g.transition_name(exp.req_fall), "r-");
+        assert_eq!(g.transition_name(exp.ack_rise), "a+");
+        assert_eq!(g.transition_name(exp.ack_fall), "a-");
+        // The four-phase cycle is live: 4 states when nothing else runs.
+        let r = ReachabilityGraph::explore_default(g.net(), &g.initial_marking()).unwrap();
+        assert_eq!(r.len(), 4);
+        g.validate().unwrap();
+        // Relabelling refreshed the implicit place names, so the STG
+        // round-trips through the writer.
+        let text = crate::write::write_g(&g);
+        let g2 = crate::parse::parse_g(&text).unwrap();
+        assert_eq!(g.net().num_transitions(), g2.net().num_transitions());
+        assert_eq!(g.initial_marking().count(), g2.initial_marking().count());
+    }
+
+    #[test]
+    fn expansion_rejects_malformed_channels() {
+        // A channel whose req has a rise transition instead of a toggle.
+        let mut g = chain(); // a+/a-/b+/b- events, no toggles
+        let a = g.signal_by_name("a").unwrap();
+        let b = g.signal_by_name("b").unwrap();
+        g.add_handshake(b, a).unwrap();
+        let e = expand_channel_four_phase(&mut g, 0).unwrap_err();
+        assert!(matches!(e, PetriError::Structural(_)), "{e}");
+        // And an out-of-range channel index.
+        let mut g = partial_channel();
+        assert!(expand_channel_four_phase(&mut g, 7).is_err());
+    }
+
+    #[test]
+    fn automorphisms_find_the_branch_swap() {
+        // Fork/join with two symmetric request/ack branches.
+        let g = crate::parse::parse_g(
+            ".model par\n.inputs go a1 a2\n.outputs r1 r2\n.graph\n\
+             go+ r1+ r2+\nr1+ a1+\nr2+ a2+\na1+ go-\na2+ go-\n\
+             go- r1- r2-\nr1- a1-\nr2- a2-\na1- go+\na2- go+\n\
+             .marking { <a1-,go+> <a2-,go+> }\n.end\n",
+        )
+        .unwrap();
+        let autos = signal_automorphisms(&g);
+        assert_eq!(autos.len(), 1, "exactly the 1<->2 swap");
+        let p = &autos[0];
+        let id = |n: &str| g.signal_by_name(n).unwrap();
+        assert_eq!(p[id("a1").index()], id("a2"));
+        assert_eq!(p[id("r1").index()], id("r2"));
+        assert_eq!(p[id("go").index()], id("go"));
+        // The induced transition mapping is total.
+        let t = g.transition_by_label("r1+").unwrap();
+        let u = map_transition(&g, t, p).unwrap();
+        assert_eq!(g.transition_name(u), "r2+");
+    }
+
+    #[test]
+    fn asymmetric_specs_have_no_automorphisms() {
+        let g = partial_channel();
+        assert!(signal_automorphisms(&g).is_empty());
+        let g = chain();
+        assert!(signal_automorphisms(&g).is_empty());
     }
 
     #[test]

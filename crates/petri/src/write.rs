@@ -32,6 +32,14 @@ pub fn write_g(stg: &Stg) -> String {
             let _ = writeln!(out, "{directive} {}", names.join(" "));
         }
     }
+    for h in stg.handshakes() {
+        let _ = writeln!(
+            out,
+            ".handshake {} {}",
+            stg.signal(h.req).name,
+            stg.signal(h.ack).name
+        );
+    }
     let dummies: Vec<&str> = stg
         .transitions()
         .filter(|&t| matches!(stg.label(t), TransLabel::Dummy { .. }))
@@ -183,6 +191,18 @@ Req+ Ack+
             .map(|&t| g2.transition_name(t).to_string())
             .collect();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn handshake_declarations_roundtrip() {
+        let src = ".model hs\n.inputs a\n.outputs r\n.handshake r a\n.graph\n\
+             r~ a~\na~ r~\n.marking { <a~,r~> }\n.end\n";
+        let g1 = parse_g(src).unwrap();
+        let text = write_g(&g1);
+        assert!(text.contains(".handshake r a"), "{text}");
+        let g2 = parse_g(&text).unwrap();
+        assert_eq!(g2.handshakes(), g1.handshakes());
+        assert!(g2.is_partial());
     }
 
     #[test]

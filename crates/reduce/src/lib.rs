@@ -16,7 +16,10 @@
 //! Moves that would delay an input transition, deadlock the system,
 //! stop an event from ever firing, or break speed independence are
 //! discarded; consistency is preserved by construction (the rewrite
-//! only restricts the language, and state codes carry over).
+//! only restricts the language, and state codes carry over). Mirror
+//! moves under a signal automorphism of the specification (symmetric
+//! fork/join branches, interchangeable channels) are dominated and
+//! pruned before scoring — see [`Reduction::pruned`].
 
 #![warn(missing_docs)]
 
@@ -24,8 +27,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
-use reshuffle_petri::structural::insert_causal_place;
-use reshuffle_petri::Stg;
+use reshuffle_petri::structural::{insert_causal_place, map_transition, signal_automorphisms};
+use reshuffle_petri::{Stg, TransitionId};
 use reshuffle_sg::conc::concurrent_pairs;
 use reshuffle_sg::csc::analyze_csc;
 use reshuffle_sg::props::{all_events_fire, speed_independence};
@@ -112,6 +115,21 @@ impl Default for ReduceOptions {
     }
 }
 
+/// One accepted serializing move on the winning path, with the
+/// statistics of the specification *after* the move — the `tables
+/// --moves` report renders these as before→after deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveStep {
+    /// The move, as a `from -> to` string.
+    pub label: String,
+    /// Literal estimate after the move.
+    pub literals: u32,
+    /// Steady-state cycle time after the move.
+    pub cycle: f64,
+    /// Remaining CSC conflicts after the move.
+    pub csc_conflicts: usize,
+}
+
 /// A concurrency-reduced refinement of the input STG.
 #[derive(Debug, Clone)]
 pub struct Reduction {
@@ -121,6 +139,9 @@ pub struct Reduction {
     pub sg: StateGraph,
     /// Serializing moves applied, in order, as `from -> to` strings.
     pub moves: Vec<String>,
+    /// The winning path move by move, with per-move statistics
+    /// (parallel to `moves`).
+    pub steps: Vec<MoveStep>,
     /// Literal estimate of the reduced specification.
     pub literals: u32,
     /// Steady-state cycle time of the reduced specification under the
@@ -128,6 +149,11 @@ pub struct Reduction {
     pub cycle: f64,
     /// Remaining CSC conflicts of the reduced specification.
     pub csc_conflicts: usize,
+    /// Candidate moves discarded by symmetry dominance: a move whose
+    /// mirror image under a signal automorphism of the current STG was
+    /// also a candidate with a lexicographically smaller label. Mirrors
+    /// score identically, so re-scoring them only burns search budget.
+    pub pruned: usize,
 }
 
 /// Search priority: (CSC conflicts, literals, cycle-time bits, moves).
@@ -138,6 +164,7 @@ struct Node {
     stg: Stg,
     sg: StateGraph,
     moves: Vec<String>,
+    parent: Option<usize>,
     conflicts: usize,
     literals: u32,
     cycle: f64,
@@ -221,6 +248,7 @@ pub fn reduce_concurrency_from(
         stg: stg.clone(),
         sg,
         moves: Vec::new(),
+        parent: None,
         conflicts,
         literals,
         cycle,
@@ -239,7 +267,13 @@ pub fn reduce_concurrency_from(
     let mut heap: BinaryHeap<Reverse<(Score, usize)>> = BinaryHeap::new();
     heap.push(Reverse((nodes[0].score(), 0)));
 
+    // Serializing places only ever break symmetry, so an asymmetric
+    // root spec stays asymmetric along every path — skip the per-node
+    // automorphism brute force entirely in that (common) case.
+    let maybe_symmetric = !signal_automorphisms(stg).is_empty();
+
     let mut expansions = 0usize;
+    let mut pruned_total = 0usize;
     while let Some(Reverse((_, id))) = heap.pop() {
         if expansions >= opts.max_expansions {
             break;
@@ -248,7 +282,9 @@ pub fn reduce_concurrency_from(
             continue;
         }
         expansions += 1;
-        for (stg2, sg2, label) in candidate_moves(&nodes[id]) {
+        let (candidates, pruned) = candidate_moves(&nodes[id], maybe_symmetric);
+        pruned_total += pruned;
+        for (stg2, sg2, label) in candidates {
             if !visited.insert(sg2.fingerprint()) {
                 continue;
             }
@@ -264,6 +300,7 @@ pub fn reduce_concurrency_from(
                 stg: stg2,
                 sg: sg2,
                 moves,
+                parent: Some(id),
                 conflicts,
                 literals,
                 cycle,
@@ -280,14 +317,33 @@ pub fn reduce_concurrency_from(
     let Some(best) = best else {
         return Err(ReduceError::NoFeasibleReduction);
     };
+    // Reconstruct the winning path for the per-move delta report.
+    let mut steps = Vec::new();
+    let mut cur = best;
+    while let Some(parent) = nodes[cur].parent {
+        steps.push(MoveStep {
+            label: nodes[cur]
+                .moves
+                .last()
+                .expect("non-root node carries its move")
+                .clone(),
+            literals: nodes[cur].literals,
+            cycle: nodes[cur].cycle,
+            csc_conflicts: nodes[cur].conflicts,
+        });
+        cur = parent;
+    }
+    steps.reverse();
     let n = nodes.swap_remove(best);
     Ok(Reduction {
         stg: n.stg,
         sg: n.sg,
         moves: n.moves,
+        steps,
         literals: n.literals,
         cycle: n.cycle,
         csc_conflicts: n.conflicts,
+        pruned: pruned_total,
     })
 }
 
@@ -308,9 +364,14 @@ fn evaluate(
 /// Enumerates the legal serializing moves applicable to `node`: for each
 /// concurrent pair, each direction whose delayed edge is non-input and
 /// single-instance, with the state graph re-derived incrementally and
-/// the liveness/speed-independence gates applied.
-fn candidate_moves(node: &Node) -> Vec<(Stg, StateGraph, String)> {
-    let mut out = Vec::new();
+/// the liveness/speed-independence gates applied. Mirror-image moves
+/// under a signal automorphism of the node's STG are dominated — they
+/// score identically by symmetry — so only the lexicographically least
+/// representative of each orbit is kept; the second value counts the
+/// discarded mirrors. `maybe_symmetric` is the root spec's verdict:
+/// when it had no automorphisms, no derived node can have any either.
+fn candidate_moves(node: &Node, maybe_symmetric: bool) -> (Vec<(Stg, StateGraph, String)>, usize) {
+    let mut out: Vec<(Stg, StateGraph, String, TransitionId, TransitionId)> = Vec::new();
     for (a, b) in concurrent_pairs(&node.sg) {
         for (from, to) in [(a, b), (b, a)] {
             // Never delay the environment: the waiting edge must be an
@@ -346,10 +407,46 @@ fn candidate_moves(node: &Node) -> Vec<(Stg, StateGraph, String)> {
                 node.stg.transition_name(from_t),
                 node.stg.transition_name(to_t)
             );
-            out.push((stg2, sg2, label));
+            out.push((stg2, sg2, label, from_t, to_t));
         }
     }
-    out
+
+    // Symmetry dominance: keep only orbit-minimal labels.
+    let mut pruned = 0usize;
+    let autos = if maybe_symmetric {
+        signal_automorphisms(&node.stg)
+    } else {
+        Vec::new()
+    };
+    if !autos.is_empty() {
+        let labels: HashSet<String> = out.iter().map(|(_, _, l, _, _)| l.clone()).collect();
+        out.retain(|(_, _, label, from_t, to_t)| {
+            for perm in &autos {
+                let (Some(mf), Some(mt)) = (
+                    map_transition(&node.stg, *from_t, perm),
+                    map_transition(&node.stg, *to_t, perm),
+                ) else {
+                    continue;
+                };
+                let mirror = format!(
+                    "{} -> {}",
+                    node.stg.transition_name(mf),
+                    node.stg.transition_name(mt)
+                );
+                if labels.contains(&mirror) && mirror.as_str() < label.as_str() {
+                    pruned += 1;
+                    return false;
+                }
+            }
+            true
+        });
+    }
+    (
+        out.into_iter()
+            .map(|(stg, sg, label, _, _)| (stg, sg, label))
+            .collect(),
+        pruned,
+    )
 }
 
 #[cfg(test)]
@@ -393,6 +490,55 @@ b- a+
         // The reduced STG rebuilds to the incrementally-derived graph.
         let rebuilt = build_state_graph(&red.stg).unwrap();
         assert_eq!(rebuilt.fingerprint(), red.sg.fingerprint());
+        // The winning path is recorded step by step, and mfig1 has no
+        // symmetric moves to prune.
+        assert_eq!(
+            red.steps,
+            vec![MoveStep {
+                label: "Ack- -> Req+".to_string(),
+                literals: 1,
+                cycle: 6.0,
+                csc_conflicts: 0,
+            }]
+        );
+        assert_eq!(red.pruned, 0);
+    }
+
+    /// Fork/join with two symmetric request/ack branches: every move on
+    /// branch 1 has a mirror on branch 2.
+    const SYMPAR: &str = "\
+.model sympar
+.inputs go a1 a2
+.outputs r1 r2
+.graph
+go+ r1+ r2+
+r1+ a1+
+r2+ a2+
+a1+ go-
+a2+ go-
+go- r1- r2-
+r1- a1-
+r2- a2-
+a1- go+
+a2- go+
+.marking { <a1-,go+> <a2-,go+> }
+.end
+";
+
+    #[test]
+    fn symmetric_moves_are_pruned() {
+        let stg = parse_g(SYMPAR).unwrap();
+        let red = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap();
+        // The root's candidate set is mirror-symmetric under the 1<->2
+        // branch swap, so half of it is dominance-pruned (deeper nodes
+        // have broken symmetry and prune nothing).
+        assert!(red.pruned > 0, "no mirrors pruned");
+        // Pruning must not change the outcome quality: the winner's
+        // moves all live on the lexicographically-least branch.
+        for m in &red.moves {
+            assert!(!m.starts_with("a2") && !m.starts_with("r2"), "{m}");
+        }
+        assert_eq!(red.steps.len(), red.moves.len());
     }
 
     #[test]

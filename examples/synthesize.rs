@@ -4,10 +4,13 @@
 //! cargo run --example synthesize -- path/to/spec.g
 //! ```
 //!
-//! With no argument, runs the built-in xyz example.
+//! With no argument, runs the built-in xyz example. Partial
+//! specifications (`.handshake` channels, toggle events) are expanded
+//! automatically — the ranked reshuffling selection of Section 3.
 
 use std::process::ExitCode;
 
+use reshuffle::ExpansionOptions;
 use reshuffle_bench::examples::XYZ_G;
 
 fn main() -> ExitCode {
@@ -21,8 +24,15 @@ fn main() -> ExitCode {
         },
         None => XYZ_G.to_string(),
     };
-    match reshuffle::synthesize_with(&source, &reshuffle::PipelineOptions::default()) {
+    let opts = reshuffle::PipelineOptions {
+        expand: Some(ExpansionOptions::default()),
+        ..Default::default()
+    };
+    match reshuffle::synthesize_with(&source, &opts) {
         Ok(s) => {
+            if !s.expansion.is_empty() {
+                println!("reshuffling choices: {}", s.expansion.join(", "));
+            }
             if !s.inserted.is_empty() {
                 println!("inserted state signals: {}", s.inserted.join(", "));
             }

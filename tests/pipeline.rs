@@ -4,7 +4,8 @@
 //! signal sets for every example in `reshuffle_bench::examples`.
 
 use reshuffle::{
-    synthesize, synthesize_with, PipelineError, PipelineOptions, ReduceOptions, Synthesis,
+    synthesize, synthesize_with, ExpansionOptions, PipelineError, PipelineOptions, ReduceOptions,
+    Synthesis,
 };
 use reshuffle_bench::examples::{self, XYZ_G};
 use reshuffle_petri::parse_g;
@@ -65,11 +66,14 @@ fn facade_rejects_malformed_sources_by_stage() {
 // Golden-corpus regression suite.
 //
 // Every example in `reshuffle_bench::examples::ALL` is synthesized
-// twice — with the default pipeline and with the concurrency-reduction
-// stage enabled — and the outcome is rendered to one line per run:
-// literal count, sorted signal set, inserted state signals, and (for
-// the reduce pass) the serializing moves applied. The lines must match
-// `GOLDEN` exactly.
+// four ways — default pipeline, with the Section 4 concurrency-reduction
+// stage, with the Section 3 handshake-expansion stage, and with both
+// composed — and the outcome is rendered to one line per run: literal
+// count, timed cycle, sorted signal set, inserted state signals, plus
+// the serializing moves (reduce modes) and winning ordering choices
+// (expand modes). Partial corpus entries error out of the non-expand
+// modes by design; complete entries pass through the expand stage
+// untouched. The lines must match `GOLDEN` exactly.
 //
 // To re-bless after an intentional change: run
 //   cargo test -q golden_corpus -- --nocapture
@@ -77,25 +81,78 @@ fn facade_rejects_malformed_sources_by_stage() {
 // failure prints (one copy-paste edit).
 // ---------------------------------------------------------------------
 
+/// The four pipeline modes pinned per corpus entry.
+fn golden_modes() -> Vec<(&'static str, PipelineOptions)> {
+    vec![
+        ("default", PipelineOptions::default()),
+        (
+            "reduce",
+            PipelineOptions {
+                reduce: Some(ReduceOptions::default()),
+                ..Default::default()
+            },
+        ),
+        (
+            "expand",
+            PipelineOptions {
+                expand: Some(ExpansionOptions::default()),
+                ..Default::default()
+            },
+        ),
+        (
+            "exp+red",
+            PipelineOptions {
+                expand: Some(ExpansionOptions::default()),
+                reduce: Some(ReduceOptions::default()),
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
 /// Expected outcome lines, one per (example, mode), in corpus order.
 const GOLDEN: &[&str] = &[
-    "toggle   default lits=1 signals=[a,b] inserted=[]",
-    "toggle   reduce  lits=1 signals=[a,b] inserted=[] moves=[]",
-    "xyz      default lits=2 signals=[x,y,z] inserted=[]",
-    "xyz      reduce  lits=2 signals=[x,y,z] inserted=[] moves=[]",
-    "lr       default lits=2 signals=[la,lr,ra,rr] inserted=[]",
-    "lr       reduce  lits=2 signals=[la,lr,ra,rr] inserted=[] moves=[]",
-    "mmu      default lits=4 signals=[x,y1,y2,y3,y4] inserted=[]",
-    "mmu      reduce  lits=4 signals=[x,y1,y2,y3,y4] inserted=[] moves=[]",
-    "par      default lits=8 signals=[a1,a2,done,go,r1,r2] inserted=[]",
-    "par      reduce  lits=3 signals=[a1,a2,done,go,r1,r2] inserted=[] moves=[a1- -> r2-,a1+ -> r2+]",
+    "toggle   default lits=1 cycle=6.0 signals=[a,b] inserted=[]",
+    "toggle   reduce  lits=1 cycle=6.0 signals=[a,b] inserted=[] moves=[]",
+    "toggle   expand  lits=1 cycle=6.0 signals=[a,b] inserted=[] choices=[]",
+    "toggle   exp+red lits=1 cycle=6.0 signals=[a,b] inserted=[] moves=[] choices=[]",
+    "xyz      default lits=2 cycle=8.0 signals=[x,y,z] inserted=[]",
+    "xyz      reduce  lits=2 cycle=8.0 signals=[x,y,z] inserted=[] moves=[]",
+    "xyz      expand  lits=2 cycle=8.0 signals=[x,y,z] inserted=[] choices=[]",
+    "xyz      exp+red lits=2 cycle=8.0 signals=[x,y,z] inserted=[] moves=[] choices=[]",
+    "lr       default lits=2 cycle=12.0 signals=[la,lr,ra,rr] inserted=[]",
+    "lr       reduce  lits=2 cycle=12.0 signals=[la,lr,ra,rr] inserted=[] moves=[]",
+    "lr       expand  lits=2 cycle=12.0 signals=[la,lr,ra,rr] inserted=[] choices=[]",
+    "lr       exp+red lits=2 cycle=12.0 signals=[la,lr,ra,rr] inserted=[] moves=[] choices=[]",
+    "mmu      default lits=4 cycle=12.0 signals=[x,y1,y2,y3,y4] inserted=[]",
+    "mmu      reduce  lits=4 cycle=12.0 signals=[x,y1,y2,y3,y4] inserted=[] moves=[]",
+    "mmu      expand  lits=4 cycle=12.0 signals=[x,y1,y2,y3,y4] inserted=[] choices=[]",
+    "mmu      exp+red lits=4 cycle=12.0 signals=[x,y1,y2,y3,y4] inserted=[] moves=[] choices=[]",
+    "par      default lits=8 cycle=12.0 signals=[a1,a2,done,go,r1,r2] inserted=[]",
+    "par      reduce  lits=3 cycle=18.0 signals=[a1,a2,done,go,r1,r2] inserted=[] moves=[a1- -> r2-,a1+ -> r2+]",
+    "par      expand  lits=8 cycle=12.0 signals=[a1,a2,done,go,r1,r2] inserted=[] choices=[]",
+    "par      exp+red lits=3 cycle=18.0 signals=[a1,a2,done,go,r1,r2] inserted=[] moves=[a1- -> r2-,a1+ -> r2+] choices=[]",
     "mfig1    default error=synthesis: CSC resolution stalled with 1 conflicts after inserting 0 signals",
-    "mfig1    reduce  lits=1 signals=[Ack,Req] inserted=[] moves=[Ack- -> Req+]",
-    "creq     default lits=11 signals=[Ack,Go,Req,csc0] inserted=[csc0]",
-    "creq     reduce  lits=2 signals=[Ack,Go,Req] inserted=[] moves=[Go- -> Req+]",
+    "mfig1    reduce  lits=1 cycle=6.0 signals=[Ack,Req] inserted=[] moves=[Ack- -> Req+]",
+    "mfig1    expand  error=synthesis: CSC resolution stalled with 1 conflicts after inserting 0 signals",
+    "mfig1    exp+red lits=1 cycle=6.0 signals=[Ack,Req] inserted=[] moves=[Ack- -> Req+] choices=[]",
+    "creq     default lits=11 cycle=8.0 signals=[Ack,Go,Req,csc0] inserted=[csc0]",
+    "creq     reduce  lits=2 cycle=8.0 signals=[Ack,Go,Req] inserted=[] moves=[Go- -> Req+]",
+    "creq     expand  lits=11 cycle=8.0 signals=[Ack,Go,Req,csc0] inserted=[csc0] choices=[]",
+    "creq     exp+red lits=2 cycle=8.0 signals=[Ack,Go,Req] inserted=[] moves=[Go- -> Req+] choices=[]",
+    "hslr     default error=expansion: specification is partial; run handshake expansion before synthesis",
+    "hslr     reduce  error=expansion: specification is partial; run handshake expansion before synthesis",
+    "hslr     expand  lits=18 cycle=12.0 signals=[csc0,csc1,la,lr,ra,rr] inserted=[csc0,csc1] choices=[]",
+    "hslr     exp+red lits=2 cycle=12.0 signals=[la,lr,ra,rr] inserted=[] moves=[ra- -> la-,lr- -> rr-] choices=[]",
+    "pcreq    default error=expansion: specification is partial; run handshake expansion before synthesis",
+    "pcreq    reduce  error=expansion: specification is partial; run handshake expansion before synthesis",
+    "pcreq    expand  lits=6 cycle=9.0 signals=[Ack,Go,Req,csc0] inserted=[csc0] choices=[Go+ -> Req-,Go- -> Ack-]",
+    "pcreq    exp+red lits=2 cycle=8.0 signals=[Ack,Go,Req] inserted=[] moves=[Go+ -> Req-,Ack- -> Go-] choices=[]",
 ];
 
-/// Renders one synthesis outcome as a golden line.
+/// Renders one synthesis outcome as a golden line (the expand modes pin
+/// the chosen ordering, literal count and cycle time — the acceptance
+/// artifacts of the Section 3 stage).
 fn golden_line(name: &str, mode: &str, result: &Result<Synthesis, PipelineError>) -> String {
     match result {
         Err(e) => format!("{name:<8} {mode:<7} error={e}"),
@@ -107,14 +164,21 @@ fn golden_line(name: &str, mode: &str, result: &Result<Synthesis, PipelineError>
                 .map(|s| s.name.as_str())
                 .collect();
             signals.sort_unstable();
+            let delays = DelayModel::uniform(&s.stg, 2.0, 1.0);
+            let cycle = simulate(&s.stg, &delays, &SimOptions::default())
+                .map(|r| format!("{:.1}", r.period))
+                .unwrap_or_else(|e| format!("?{e}"));
             let mut line = format!(
-                "{name:<8} {mode:<7} lits={} signals=[{}] inserted=[{}]",
+                "{name:<8} {mode:<7} lits={} cycle={cycle} signals=[{}] inserted=[{}]",
                 literal_estimate(&s.sg),
                 signals.join(","),
                 s.inserted.join(","),
             );
-            if mode == "reduce" {
+            if mode == "reduce" || mode == "exp+red" {
                 line.push_str(&format!(" moves=[{}]", s.moves.join(",")));
+            }
+            if mode == "expand" || mode == "exp+red" {
+                line.push_str(&format!(" choices=[{}]", s.expansion.join(",")));
             }
             line
         }
@@ -123,22 +187,11 @@ fn golden_line(name: &str, mode: &str, result: &Result<Synthesis, PipelineError>
 
 #[test]
 fn golden_corpus() {
-    let reduce_opts = PipelineOptions {
-        reduce: Some(ReduceOptions::default()),
-        ..Default::default()
-    };
     let mut actual = Vec::new();
     for (name, src) in examples::ALL {
-        actual.push(golden_line(
-            name,
-            "default",
-            &synthesize_with(src, &PipelineOptions::default()),
-        ));
-        actual.push(golden_line(
-            name,
-            "reduce",
-            &synthesize_with(src, &reduce_opts),
-        ));
+        for (mode, opts) in golden_modes() {
+            actual.push(golden_line(name, mode, &synthesize_with(src, &opts)));
+        }
     }
     let expected: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
     assert_eq!(
@@ -154,13 +207,9 @@ fn golden_corpus_netlists_verify() {
     // Golden literal counts alone could pin a wrong implementation;
     // every successfully synthesized netlist must also model-check
     // against its (possibly transformed) state graph.
-    let reduce_opts = PipelineOptions {
-        reduce: Some(ReduceOptions::default()),
-        ..Default::default()
-    };
     for (name, src) in examples::ALL {
-        for opts in [&PipelineOptions::default(), &reduce_opts] {
-            if let Ok(s) = synthesize_with(src, opts) {
+        for (_, opts) in golden_modes() {
+            if let Ok(s) = synthesize_with(src, &opts) {
                 verify_against_sg(&s.sg, &s.netlist)
                     .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"));
             }
