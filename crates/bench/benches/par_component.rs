@@ -1,7 +1,7 @@
 //! The fork/join PAR component: concurrency diamonds in the state
-//! graph, the workload concurrency reduction will later optimize.
+//! graph, the workload concurrency reduction optimizes.
 
-use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle::{Pipeline, PipelineOptions, ReduceOptions};
 use reshuffle_bench::{examples, report, BenchOptions};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::{build_state_graph, conc};
@@ -19,7 +19,24 @@ fn main() {
         conc::concurrent_pairs(&sg)
     });
 
+    let popts = PipelineOptions::default();
     report("par/synthesize", &opts, || {
-        synthesize_with(examples::PAR_G, &PipelineOptions::default()).unwrap()
+        Pipeline::from_g(examples::PAR_G)
+            .unwrap()
+            .run(&popts)
+            .unwrap()
+    });
+
+    // The reduce stage dominates this workload; measure it through the
+    // builder so the per-stage diagnostics overhead is in the loop.
+    let reduce_opts = PipelineOptions {
+        reduce: Some(ReduceOptions::default()),
+        ..Default::default()
+    };
+    report("par/synthesize_reduced", &opts, || {
+        Pipeline::from_g(examples::PAR_G)
+            .unwrap()
+            .run(&reduce_opts)
+            .unwrap()
     });
 }

@@ -1,6 +1,6 @@
 //! Table 1 flavor: the left/right handshake coupler, end to end.
 
-use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle::{Pipeline, PipelineOptions, SynthCache};
 use reshuffle_bench::{examples, report, BenchOptions};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::build_state_graph;
@@ -14,9 +14,25 @@ fn main() {
     let stg = parse_g(examples::LR_G).unwrap();
     report("lr/state_graph", &opts, || build_state_graph(&stg).unwrap());
 
+    let popts = PipelineOptions::default();
     report("lr/synthesize", &opts, || {
-        synthesize_with(examples::LR_G, &PipelineOptions::default()).unwrap()
+        Pipeline::from_g(examples::LR_G)
+            .unwrap()
+            .run(&popts)
+            .unwrap()
     });
+
+    // The O(1) repeated-synthesis path: every iteration after the first
+    // is served from the cache by spec fingerprint.
+    let cache = SynthCache::new();
+    report("lr/synthesize_cached", &opts, || {
+        Pipeline::from_g(examples::LR_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&popts)
+            .unwrap()
+    });
+    assert!(cache.hits() > 0, "cached bench never hit the cache");
 
     let delays = DelayModel::uniform(&stg, 2.0, 1.0);
     report("lr/timed_sim", &opts, || {

@@ -1,6 +1,6 @@
 //! Table 2 flavor: the MMU stand-in pipeline, end to end.
 
-use reshuffle::{synthesize_with, PipelineOptions};
+use reshuffle::{Pipeline, PipelineOptions};
 use reshuffle_bench::{examples, report, BenchOptions};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::build_state_graph;
@@ -16,8 +16,12 @@ fn main() {
         build_state_graph(&stg).unwrap()
     });
 
+    let popts = PipelineOptions::default();
     report("mmu/synthesize", &opts, || {
-        synthesize_with(examples::MMU_G, &PipelineOptions::default()).unwrap()
+        Pipeline::from_g(examples::MMU_G)
+            .unwrap()
+            .run(&popts)
+            .unwrap()
     });
 
     let delays = DelayModel::uniform(&stg, 2.0, 1.0);

@@ -6,7 +6,10 @@
 //! Section 3 handshake-expansion comparison: the *eager* and *lazy*
 //! extremes of the reshuffling lattice (`elits`/`ecycl`,
 //! `llits`/`lcycl`) against the ranked selection (`xlits`/`xcycl`,
-//! `chc` ordering choices committed).
+//! `chc` ordering choices committed). A trailing `ms` column reports
+//! the row's synthesis wall time, and a footer reports the shared
+//! [`SynthCache`](reshuffle::SynthCache)'s entry count and the
+//! hit/miss outcome of replaying every successful run against it.
 //!
 //! Partial rows run the default and reduce paths through the expansion
 //! stage (a partial spec cannot be synthesized otherwise): their
@@ -18,195 +21,32 @@
 //!
 //! `--moves` additionally prints, per row whose winning path serialized
 //! concurrency, the accepted moves with literals/cycle before→after
-//! each one.
+//! each one. `--json` emits the whole report in the machine-readable
+//! `reshuffle-tables/1` schema instead; `--json --baseline` zeroes the
+//! machine-dependent wall times, which is how the committed
+//! `BENCH_tables.json` perf-trajectory baseline is produced.
 
-use reshuffle::handshake::{expand_handshakes, ExpansionOptions};
-use reshuffle::{
-    synthesize_stg_from, synthesize_with, MoveStep, PipelineOptions, ReduceOptions, Synthesis,
-};
-use reshuffle_bench::examples;
-use reshuffle_petri::{parse_g, Stg};
-use reshuffle_sg::{build_state_graph, csc::analyze_csc, StateGraph};
-use reshuffle_synth::literal_estimate;
-use reshuffle_timing::{simulate, DelayModel, SimOptions};
-
-/// One synthesized path of a row: literals, cycle time, state signals
-/// inserted, serializing moves applied, expansion choices committed.
-struct Path {
-    lits: u32,
-    cycle: f64,
-    inserted: usize,
-    moves: usize,
-    choices: usize,
-}
-
-/// Measures one synthesized path under the same delay model the
-/// reduction search optimized for, so `cycle'` reports the optimizer's
-/// own objective.
-fn path_of(s: &Synthesis, ropts: &ReduceOptions) -> Result<Path, Box<dyn std::error::Error>> {
-    let delays = DelayModel::uniform(&s.stg, ropts.input_delay, ropts.gate_delay);
-    let run = simulate(&s.stg, &delays, &SimOptions::default())?;
-    Ok(Path {
-        lits: literal_estimate(&s.sg),
-        cycle: run.period,
-        inserted: s.inserted.len(),
-        moves: s.moves.len(),
-        choices: s.expansion.len(),
-    })
-}
-
-fn fmt3(p: &Result<Path, Box<dyn std::error::Error>>) -> String {
-    match p {
-        Ok(p) => format!("{:>5} {:>6.1} {:>5}", p.lits, p.cycle, p.inserted),
-        Err(_) => format!("{:>5} {:>6} {:>5}", "-", "-", "-"),
-    }
-}
-
-fn fmt2(p: &Result<Path, Box<dyn std::error::Error>>) -> String {
-    match p {
-        Ok(p) => format!("{:>5} {:>6.1}", p.lits, p.cycle),
-        Err(_) => format!("{:>5} {:>6}", "-", "-"),
-    }
-}
-
-/// Renders the accepted serializing moves of a reduction (the per-move
-/// trajectory carried on [`Synthesis::move_steps`]) with before→after
-/// deltas, starting from the pre-reduction specification's statistics.
-fn render_moves(
-    spec: &Stg,
-    spec_sg: &StateGraph,
-    ropts: &ReduceOptions,
-    steps: &[MoveStep],
-) -> String {
-    let delays = DelayModel::uniform(spec, ropts.input_delay, ropts.gate_delay);
-    let Ok(run) = simulate(spec, &delays, &SimOptions::default()) else {
-        return String::new();
-    };
-    let mut lits = literal_estimate(spec_sg);
-    let mut cycle = run.period;
-    let mut conf = analyze_csc(spec_sg).num_csc_conflicts();
-    let mut out = String::new();
-    for step in steps {
-        out.push_str(&format!(
-            "    move {:<16} lits {:>3} -> {:<3} cycle {:>5.1} -> {:<5.1} csc {} -> {}\n",
-            step.label, lits, step.literals, cycle, step.cycle, conf, step.csc_conflicts
-        ));
-        lits = step.literals;
-        cycle = step.cycle;
-        conf = step.csc_conflicts;
-    }
-    out
-}
+use reshuffle_bench::tables;
 
 fn main() {
-    let show_moves = std::env::args().any(|a| a == "--moves");
-    println!(
-        "{:<8} {:>6} {:>4} | {:>5} {:>6} {:>5} | {:>5} {:>6} {:>5} {:>3} | {:>5} {:>6} | {:>5} {:>6} | {:>5} {:>6} {:>3}",
-        "model", "states", "csc", "lits", "cycle", "sig+", "lits'", "cycle'", "sig+'", "mv",
-        "elits", "ecycl", "llits", "lcycl", "xlits", "xcycl", "chc"
-    );
-    let mut failures = 0usize;
-    let ropts = ReduceOptions::default();
-    let eopts = ExpansionOptions::default();
-    for (name, src) in examples::ALL {
-        let row = (|| -> Result<(String, String), Box<dyn std::error::Error>> {
-            let spec = parse_g(src)?;
-            let spec_sg = build_state_graph(&spec)?;
-            let states = spec_sg.num_states();
-            let conflicts = analyze_csc(&spec_sg).num_csc_conflicts();
-            let dash2 = format!("{:>5} {:>6}", "-", "-");
-
-            if spec.is_partial() {
-                // Expansion extremes, each through the default pipeline.
-                let cands = expand_handshakes(&spec, &eopts)?;
-                let extreme = |c: &reshuffle::Reshuffling| {
-                    synthesize_stg_from(&c.stg, c.sg.clone(), &PipelineOptions::default())
-                        .map_err(Box::<dyn std::error::Error>::from)
-                        .and_then(|s| path_of(&s, &ropts))
-                };
-                let eager = extreme(&cands[0]);
-                let lazy = extreme(cands.last().unwrap());
-                // The ranked selection, and its reduce composition.
-                let expand_opts = PipelineOptions {
-                    expand: Some(eopts.clone()),
-                    ..Default::default()
-                };
-                let selected_synth = synthesize_with(src, &expand_opts)?;
-                let selected = path_of(&selected_synth, &ropts)?;
-                let composed_opts = PipelineOptions {
-                    expand: Some(eopts.clone()),
-                    reduce: Some(ropts.clone()),
-                    ..Default::default()
-                };
-                let composed_synth = synthesize_with(src, &composed_opts)?;
-                let composed = path_of(&composed_synth, &ropts)?;
-                let mut moves_body = String::new();
-                if show_moves && !composed_synth.move_steps.is_empty() {
-                    // Deltas start from the winning candidate's own
-                    // (pre-reduction) statistics.
-                    if let Some(w) = cands.iter().find(|c| c.choices == composed_synth.expansion) {
-                        moves_body =
-                            render_moves(&w.stg, &w.sg, &ropts, &composed_synth.move_steps);
-                    }
-                }
-                return Ok((
-                    format!(
-                        "{:<8} {:>6} {:>4} | {:>5} {:>6} {:>5} | {:>5} {:>6.1} {:>5} {:>3} | {} | {} | {:>5} {:>6.1} {:>3}",
-                        name, states, conflicts, "-", "-", "-",
-                        composed.lits, composed.cycle, composed.inserted, composed.moves,
-                        fmt2(&eager), fmt2(&lazy),
-                        selected.lits, selected.cycle, selected.choices,
-                    ),
-                    moves_body,
-                ));
-            }
-
-            let original = synthesize_stg_from(&spec, spec_sg.clone(), &PipelineOptions::default())
-                .map_err(Box::<dyn std::error::Error>::from)
-                .and_then(|s| path_of(&s, &ropts));
-            let reduced_opts = PipelineOptions {
-                reduce: Some(ropts.clone()),
-                ..Default::default()
-            };
-            let reduced_synth = synthesize_stg_from(&spec, spec_sg.clone(), &reduced_opts)?;
-            let reduced = path_of(&reduced_synth, &ropts)?;
-            let moves_body = if show_moves && !reduced_synth.move_steps.is_empty() {
-                render_moves(&spec, &spec_sg, &ropts, &reduced_synth.move_steps)
-            } else {
-                String::new()
-            };
-            Ok((
-                format!(
-                    "{:<8} {:>6} {:>4} | {} | {:>5} {:>6.1} {:>5} {:>3} | {} | {} | {:>5} {:>6} {:>3}",
-                    name,
-                    states,
-                    conflicts,
-                    fmt3(&original),
-                    reduced.lits,
-                    reduced.cycle,
-                    reduced.inserted,
-                    reduced.moves,
-                    dash2,
-                    dash2,
-                    "-",
-                    "-",
-                    "-",
-                ),
-                moves_body,
-            ))
-        })();
-        match row {
-            Ok((r, moves_body)) => {
-                println!("{r}");
-                print!("{moves_body}");
-            }
-            Err(e) => {
-                failures += 1;
-                println!("{name:<8} FAILED: {e}");
-            }
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_moves = args.iter().any(|a| a == "--moves");
+    let as_json = args.iter().any(|a| a == "--json");
+    let baseline = args.iter().any(|a| a == "--baseline");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--moves" | "--json" | "--baseline"))
+    {
+        eprintln!("error: unknown argument `{unknown}` (expected --moves, --json, --baseline)");
+        std::process::exit(2);
     }
-    if failures > 0 {
+    let report = tables::collect(show_moves && !as_json);
+    if as_json {
+        println!("{}", tables::render_json(&report, !baseline).render());
+    } else {
+        print!("{}", tables::render_text(&report, show_moves));
+    }
+    if report.failures() > 0 {
         std::process::exit(1);
     }
 }

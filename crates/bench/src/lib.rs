@@ -8,7 +8,8 @@
 //! `cargo bench` drives plain `fn main()` runners directly.
 //!
 //! [`examples`] holds the `.g` sources the benches and the `tables`
-//! binary share.
+//! binary share; [`tables`] collects and renders the Tables 1/2
+//! report (text and machine-readable JSON via [`json`]).
 
 #![warn(missing_docs)]
 
@@ -16,6 +17,8 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 pub mod examples;
+pub mod json;
+pub mod tables;
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]

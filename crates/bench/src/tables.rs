@@ -1,0 +1,532 @@
+//! The Tables 1/2 report: data collection and rendering.
+//!
+//! [`collect`] drives the [`Pipeline`] builder over every corpus entry
+//! in the same four flavors the golden suite pins — default, with the
+//! Section 4 reduce stage, and (for partial entries) the Section 3
+//! expansion extremes plus the ranked selection and its reduce
+//! composition — against one shared [`SynthCache`], timing each row.
+//! After the first pass it *replays* every successful run against the
+//! cache, so the report also demonstrates the O(1) repeated-synthesis
+//! path and its hit counters.
+//!
+//! [`render_text`] formats the classic column report (now with a
+//! per-row `ms` column and a cache footer); [`render_json`] emits the
+//! same numbers machine-readably — the `BENCH_tables.json`
+//! perf-trajectory baseline at the repository root is its output.
+
+use std::time::Instant;
+
+use reshuffle::{
+    ExpansionOptions, MoveStep, Pipeline, PipelineOptions, ReduceOptions, Stg, SynthCache,
+    Synthesis,
+};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::{build_state_graph, csc::analyze_csc, StateGraph};
+use reshuffle_synth::literal_estimate;
+use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+use crate::examples;
+use crate::json::Json;
+
+/// One synthesized path of a row: literals, cycle time, state signals
+/// inserted, serializing moves applied, expansion choices committed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStats {
+    /// Literal estimate of the synthesized state graph.
+    pub lits: u32,
+    /// Steady-state cycle time under the reduce stage's delay model.
+    pub cycle: f64,
+    /// State signals inserted to resolve CSC.
+    pub inserted: usize,
+    /// Serializing moves applied.
+    pub moves: usize,
+    /// Reshuffling ordering choices committed.
+    pub choices: usize,
+}
+
+/// One collected corpus row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Example name.
+    pub name: &'static str,
+    /// States of the specification's graph.
+    pub states: usize,
+    /// CSC conflicts of the specification.
+    pub csc: usize,
+    /// True for partial (`.handshake`) entries.
+    pub partial: bool,
+    /// Default pipeline (complete entries; `None` = path failed).
+    pub original: Option<PathStats>,
+    /// With the reduce stage; for partial entries this is the
+    /// expansion+reduction composition.
+    pub reduced: Option<PathStats>,
+    /// Eager expansion extreme (partial entries only).
+    pub eager: Option<PathStats>,
+    /// Lazy expansion extreme (partial entries only).
+    pub lazy: Option<PathStats>,
+    /// Ranked expansion selection (partial entries only).
+    pub selected: Option<PathStats>,
+    /// Pre-rendered `--moves` body (empty when no moves were applied).
+    pub moves_body: String,
+    /// Wall time spent synthesizing this row's paths, first pass.
+    pub wall_ms: f64,
+}
+
+/// A collected row, or the reason the whole row failed.
+#[derive(Debug, Clone)]
+pub enum RowResult {
+    /// The row's paths (individually optional).
+    Row(Box<Row>),
+    /// The row could not be collected at all.
+    Failed {
+        /// Example name.
+        name: &'static str,
+        /// What went wrong.
+        error: String,
+    },
+}
+
+/// The whole report: rows plus cache behaviour.
+#[derive(Debug, Clone)]
+pub struct TablesReport {
+    /// One result per corpus entry, in corpus order.
+    pub rows: Vec<RowResult>,
+    /// Cached results after the first pass.
+    pub cache_entries: usize,
+    /// Wall time of the first (cold) pass over the corpus.
+    pub first_pass_ms: f64,
+    /// Cache hits during the replay of every successful run.
+    pub replay_hits: u64,
+    /// Cache misses during the replay (0 when every run replays).
+    pub replay_misses: u64,
+    /// Wall time of the replay pass.
+    pub replay_ms: f64,
+}
+
+impl TablesReport {
+    /// Number of rows that failed to collect.
+    pub fn failures(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r, RowResult::Failed { .. }))
+            .count()
+    }
+}
+
+/// A successful run to replay against the cache.
+type ReplayItem = (Stg, Option<StateGraph>, PipelineOptions);
+
+/// Measures one synthesized path under the same delay model the
+/// reduction search optimized for, so `cycle'` reports the optimizer's
+/// own objective.
+fn path_of(s: &Synthesis, ropts: &ReduceOptions) -> Result<PathStats, String> {
+    let delays = DelayModel::uniform(&s.stg, ropts.input_delay, ropts.gate_delay);
+    let run = simulate(&s.stg, &delays, &SimOptions::default()).map_err(|e| e.to_string())?;
+    Ok(PathStats {
+        lits: literal_estimate(&s.sg),
+        cycle: run.period,
+        inserted: s.inserted.len(),
+        moves: s.moves.len(),
+        choices: s.expansion.len(),
+    })
+}
+
+/// Runs one pipeline flavor through the builder against the shared
+/// cache, recording successful runs for the replay pass.
+fn run_cached(
+    stg: &Stg,
+    sg: Option<&StateGraph>,
+    opts: &PipelineOptions,
+    cache: &SynthCache,
+    replay: &mut Vec<ReplayItem>,
+) -> Result<Synthesis, String> {
+    let parsed = match sg {
+        Some(sg) => Pipeline::from_parts(stg.clone(), sg.clone()),
+        None => Pipeline::from_stg(stg),
+    };
+    let done = parsed
+        .with_cache(cache)
+        .run(opts)
+        .map_err(|e| e.to_string())?;
+    replay.push((stg.clone(), sg.cloned(), opts.clone()));
+    Ok(done.into_synthesis())
+}
+
+/// Renders the accepted serializing moves of a reduction (the typed
+/// trajectory carried on [`Synthesis::moves`]) with before→after
+/// deltas, starting from the pre-reduction specification's statistics.
+fn render_moves(
+    spec: &Stg,
+    spec_sg: &StateGraph,
+    ropts: &ReduceOptions,
+    steps: &[MoveStep],
+) -> String {
+    let delays = DelayModel::uniform(spec, ropts.input_delay, ropts.gate_delay);
+    let Ok(run) = simulate(spec, &delays, &SimOptions::default()) else {
+        return String::new();
+    };
+    let mut lits = literal_estimate(spec_sg);
+    let mut cycle = run.period;
+    let mut conf = analyze_csc(spec_sg).num_csc_conflicts();
+    let mut out = String::new();
+    for step in steps {
+        out.push_str(&format!(
+            "    move {:<16} lits {:>3} -> {:<3} cycle {:>5.1} -> {:<5.1} csc {} -> {}\n",
+            step.label, lits, step.literals, cycle, step.cycle, conf, step.csc_conflicts
+        ));
+        lits = step.literals;
+        cycle = step.cycle;
+        conf = step.csc_conflicts;
+    }
+    out
+}
+
+fn collect_row(
+    name: &'static str,
+    src: &str,
+    cache: &SynthCache,
+    ropts: &ReduceOptions,
+    eopts: &ExpansionOptions,
+    with_move_bodies: bool,
+    replay: &mut Vec<ReplayItem>,
+) -> Result<Row, String> {
+    let spec = parse_g(src).map_err(|e| e.to_string())?;
+    let spec_sg = build_state_graph(&spec).map_err(|e| e.to_string())?;
+    let states = spec_sg.num_states();
+    let csc = analyze_csc(&spec_sg).num_csc_conflicts();
+    let t = Instant::now();
+
+    if spec.is_partial() {
+        // Expansion extremes, each through the default pipeline.
+        let cands =
+            reshuffle::handshake::expand_handshakes(&spec, eopts).map_err(|e| e.to_string())?;
+        let mut extreme = |c: &reshuffle::Reshuffling| {
+            run_cached(
+                &c.stg,
+                Some(&c.sg),
+                &PipelineOptions::default(),
+                cache,
+                replay,
+            )
+            .and_then(|s| path_of(&s, ropts))
+        };
+        let eager = extreme(&cands[0]).ok();
+        let lazy = extreme(cands.last().unwrap()).ok();
+        // The ranked selection, and its reduce composition.
+        let expand_opts = PipelineOptions {
+            expand: Some(eopts.clone()),
+            ..Default::default()
+        };
+        let selected_synth = run_cached(&spec, None, &expand_opts, cache, replay)?;
+        let selected = path_of(&selected_synth, ropts)?;
+        let composed_opts = PipelineOptions {
+            expand: Some(eopts.clone()),
+            reduce: Some(ropts.clone()),
+            ..Default::default()
+        };
+        let composed_synth = run_cached(&spec, None, &composed_opts, cache, replay)?;
+        let composed = path_of(&composed_synth, ropts)?;
+        // Deltas start from the winning candidate's own (pre-reduction)
+        // statistics.
+        let moves_body = if !with_move_bodies || composed_synth.moves.is_empty() {
+            String::new()
+        } else {
+            cands
+                .iter()
+                .find(|c| c.choices == composed_synth.expansion)
+                .map(|w| render_moves(&w.stg, &w.sg, ropts, &composed_synth.moves))
+                .unwrap_or_default()
+        };
+        return Ok(Row {
+            name,
+            states,
+            csc,
+            partial: true,
+            original: None,
+            reduced: Some(composed),
+            eager,
+            lazy,
+            selected: Some(selected),
+            moves_body,
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    let original = run_cached(
+        &spec,
+        Some(&spec_sg),
+        &PipelineOptions::default(),
+        cache,
+        replay,
+    )
+    .and_then(|s| path_of(&s, ropts))
+    .ok();
+    let reduced_opts = PipelineOptions {
+        reduce: Some(ropts.clone()),
+        ..Default::default()
+    };
+    let reduced_synth = run_cached(&spec, Some(&spec_sg), &reduced_opts, cache, replay)?;
+    let reduced = path_of(&reduced_synth, ropts)?;
+    let moves_body = if !with_move_bodies || reduced_synth.moves.is_empty() {
+        String::new()
+    } else {
+        render_moves(&spec, &spec_sg, ropts, &reduced_synth.moves)
+    };
+    Ok(Row {
+        name,
+        states,
+        csc,
+        partial: false,
+        original,
+        reduced: Some(reduced),
+        eager: None,
+        lazy: None,
+        selected: None,
+        moves_body,
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Collects the full report: a cold pass over the corpus, then a
+/// cache replay of every successful run. `with_move_bodies` controls
+/// whether the per-move `--moves` delta bodies are rendered (they cost
+/// an extra timed simulation per reduced row, so callers that will not
+/// print them skip the work).
+pub fn collect(with_move_bodies: bool) -> TablesReport {
+    let cache = SynthCache::new();
+    let ropts = ReduceOptions::default();
+    let eopts = ExpansionOptions::default();
+    let mut replay: Vec<ReplayItem> = Vec::new();
+
+    let t_first = Instant::now();
+    let rows: Vec<RowResult> = examples::ALL
+        .iter()
+        .map(|(name, src)| {
+            match collect_row(
+                name,
+                src,
+                &cache,
+                &ropts,
+                &eopts,
+                with_move_bodies,
+                &mut replay,
+            ) {
+                Ok(row) => RowResult::Row(Box::new(row)),
+                Err(error) => RowResult::Failed { name, error },
+            }
+        })
+        .collect();
+    let first_pass_ms = t_first.elapsed().as_secs_f64() * 1e3;
+
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+    let t_replay = Instant::now();
+    for (stg, sg, opts) in &replay {
+        let parsed = match sg {
+            Some(sg) => Pipeline::from_parts(stg.clone(), sg.clone()),
+            None => Pipeline::from_stg(stg),
+        };
+        let _ = parsed.with_cache(&cache).run(opts);
+    }
+    let replay_ms = t_replay.elapsed().as_secs_f64() * 1e3;
+
+    TablesReport {
+        rows,
+        cache_entries: cache.len(),
+        first_pass_ms,
+        replay_hits: cache.hits() - hits0,
+        replay_misses: cache.misses() - misses0,
+        replay_ms,
+    }
+}
+
+fn fmt3(p: &Option<PathStats>) -> String {
+    match p {
+        Some(p) => format!("{:>5} {:>6.1} {:>5}", p.lits, p.cycle, p.inserted),
+        None => format!("{:>5} {:>6} {:>5}", "-", "-", "-"),
+    }
+}
+
+fn fmt2(p: &Option<PathStats>) -> String {
+    match p {
+        Some(p) => format!("{:>5} {:>6.1}", p.lits, p.cycle),
+        None => format!("{:>5} {:>6}", "-", "-"),
+    }
+}
+
+/// Renders the classic column report; `show_moves` appends the
+/// per-move delta lines under each row whose winning path serialized
+/// concurrency.
+pub fn render_text(report: &TablesReport, show_moves: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>6} {:>4} | {:>5} {:>6} {:>5} | {:>5} {:>6} {:>5} {:>3} | {:>5} {:>6} | {:>5} {:>6} | {:>5} {:>6} {:>3} | {:>8}\n",
+        "model", "states", "csc", "lits", "cycle", "sig+", "lits'", "cycle'", "sig+'", "mv",
+        "elits", "ecycl", "llits", "lcycl", "xlits", "xcycl", "chc", "ms"
+    ));
+    for row in &report.rows {
+        let row = match row {
+            RowResult::Failed { name, error } => {
+                out.push_str(&format!("{name:<8} FAILED: {error}\n"));
+                continue;
+            }
+            RowResult::Row(row) => row,
+        };
+        let reduced = row.reduced.as_ref().expect("reduced path always collected");
+        if row.partial {
+            let selected = row
+                .selected
+                .as_ref()
+                .expect("selected path always collected");
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>4} | {:>5} {:>6} {:>5} | {:>5} {:>6.1} {:>5} {:>3} | {} | {} | {:>5} {:>6.1} {:>3} | {:>8.1}\n",
+                row.name, row.states, row.csc, "-", "-", "-",
+                reduced.lits, reduced.cycle, reduced.inserted, reduced.moves,
+                fmt2(&row.eager), fmt2(&row.lazy),
+                selected.lits, selected.cycle, selected.choices, row.wall_ms,
+            ));
+        } else {
+            let dash2 = format!("{:>5} {:>6}", "-", "-");
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>4} | {} | {:>5} {:>6.1} {:>5} {:>3} | {} | {} | {:>5} {:>6} {:>3} | {:>8.1}\n",
+                row.name, row.states, row.csc,
+                fmt3(&row.original),
+                reduced.lits, reduced.cycle, reduced.inserted, reduced.moves,
+                dash2, dash2, "-", "-", "-", row.wall_ms,
+            ));
+        }
+        if show_moves {
+            out.push_str(&row.moves_body);
+        }
+    }
+    out.push_str(&format!(
+        "cache: {} entries; first pass {:.1} ms; replay {} hits / {} misses in {:.1} ms\n",
+        report.cache_entries,
+        report.first_pass_ms,
+        report.replay_hits,
+        report.replay_misses,
+        report.replay_ms,
+    ));
+    out
+}
+
+fn json_path(p: &Option<PathStats>) -> Json {
+    match p {
+        None => Json::Null,
+        Some(p) => Json::obj(vec![
+            ("lits", Json::Num(p.lits as f64)),
+            ("cycle", Json::Num(p.cycle)),
+            ("sig", Json::Num(p.inserted as f64)),
+            ("mv", Json::Num(p.moves as f64)),
+            ("chc", Json::Num(p.choices as f64)),
+        ]),
+    }
+}
+
+/// Renders the report as the machine-readable `reshuffle-tables/1`
+/// schema. `with_timings: false` zeroes the machine-dependent wall
+/// times (the committed `BENCH_tables.json` baseline format, so a
+/// baseline refresh only diffs when a deterministic number moved).
+pub fn render_json(report: &TablesReport, with_timings: bool) -> Json {
+    let ms = |v: f64| Json::Num(if with_timings { v } else { 0.0 });
+    let rows: Vec<Json> = report
+        .rows
+        .iter()
+        .map(|row| match row {
+            RowResult::Failed { name, error } => Json::obj(vec![
+                ("model", Json::Str(name.to_string())),
+                ("error", Json::Str(error.clone())),
+            ]),
+            RowResult::Row(row) => Json::obj(vec![
+                ("model", Json::Str(row.name.to_string())),
+                ("states", Json::Num(row.states as f64)),
+                ("csc", Json::Num(row.csc as f64)),
+                ("partial", Json::Bool(row.partial)),
+                (
+                    "paths",
+                    Json::obj(vec![
+                        ("default", json_path(&row.original)),
+                        ("reduce", json_path(&row.reduced)),
+                        ("eager", json_path(&row.eager)),
+                        ("lazy", json_path(&row.lazy)),
+                        ("selected", json_path(&row.selected)),
+                    ]),
+                ),
+                ("wall_ms", ms(row.wall_ms)),
+            ]),
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str("reshuffle-tables/1".to_string())),
+        ("rows", Json::Arr(rows)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("entries", Json::Num(report.cache_entries as f64)),
+                ("first_pass_ms", ms(report.first_pass_ms)),
+                ("replay_hits", Json::Num(report.replay_hits as f64)),
+                ("replay_misses", Json::Num(report.replay_misses as f64)),
+                ("replay_ms", ms(report.replay_ms)),
+            ]),
+        ),
+        ("failures", Json::Num(report.failures() as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn report_collects_renders_and_reparses() {
+        let report = collect(true);
+        assert_eq!(report.rows.len(), examples::ALL.len());
+        assert_eq!(report.failures(), 0, "corpus rows failed");
+        // Every successful first-pass run replays from the cache.
+        assert!(report.replay_hits > 0);
+        assert_eq!(report.replay_misses, 0, "a replayed run missed the cache");
+        assert!(report.cache_entries as u64 >= report.replay_hits);
+
+        // The text report prints every corpus row and the cache footer.
+        let text = render_text(&report, true);
+        for (name, _) in examples::ALL {
+            assert!(
+                text.lines().any(|l| l.starts_with(name)),
+                "missing row {name} in:\n{text}"
+            );
+        }
+        assert!(text.contains("cache: "), "{text}");
+        assert!(text.contains("move "), "no --moves body rendered:\n{text}");
+
+        // The JSON report parses back and carries the same numbers.
+        let rendered = render_json(&report, true).render();
+        let parsed = json::parse(&rendered).expect("tables --json output must parse");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("reshuffle-tables/1")
+        );
+        let rows = parsed.get("rows").and_then(Json::items).unwrap();
+        assert_eq!(rows.len(), examples::ALL.len());
+        // Spot-check a pinned value: toggle's default path is 1 literal.
+        let toggle = rows
+            .iter()
+            .find(|r| r.get("model").and_then(Json::as_str) == Some("toggle"))
+            .unwrap();
+        let lits = toggle
+            .get("paths")
+            .and_then(|p| p.get("default"))
+            .and_then(|d| d.get("lits"))
+            .and_then(Json::as_num);
+        assert_eq!(lits, Some(1.0));
+        assert_eq!(parsed.get("failures").and_then(Json::as_num), Some(0.0));
+
+        // The baseline rendering zeroes every machine-dependent timing.
+        let baseline = json::parse(&render_json(&report, false).render()).unwrap();
+        let cache = baseline.get("cache").unwrap();
+        assert_eq!(cache.get("first_pass_ms").and_then(Json::as_num), Some(0.0));
+        assert_eq!(cache.get("replay_ms").and_then(Json::as_num), Some(0.0));
+        for row in baseline.get("rows").and_then(Json::items).unwrap() {
+            assert_eq!(row.get("wall_ms").and_then(Json::as_num), Some(0.0));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The synthesis cache: fingerprint-keyed memoization of whole
+//! pipeline runs.
+//!
+//! A [`SynthCache`] maps `(canonical STG fingerprint, option trail)`
+//! keys to finished [`Synthesis`] results, so re-synthesizing an
+//! identical specification under identical options is an O(1) lookup
+//! instead of a pipeline run — the ROADMAP's persistent-netlist-cache
+//! step toward serving repeated requests. The spec half of the key is
+//! [`reshuffle_petri::canonical_fingerprint`] (declaration-order
+//! invariant); the option half is accumulated hash-by-hash as the
+//! staged builder commits each stage's options, so a [`run`] shortcut
+//! and the equivalent manual stage chain produce the same key.
+//!
+//! The handle is cheaply cloneable and thread-safe; hit/miss totals
+//! are cumulative over the cache's lifetime, while per-run counts are
+//! surfaced on [`Diagnostics`](crate::Diagnostics).
+//!
+//! [`run`]: crate::Parsed::run
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::Synthesis;
+
+/// Folds stage-transition parts into an options-trail hash. Every
+/// staged transition calls this with a distinct tag plus its options'
+/// canonical words, so different chains (or different options) never
+/// collide by construction order.
+pub(crate) fn mix(seed: u64, tag: &str, parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    tag.hash(&mut h);
+    parts.hash(&mut h);
+    h.finish()
+}
+
+/// A shared, thread-safe cache of finished pipeline runs.
+///
+/// ```
+/// use reshuffle::{Pipeline, PipelineOptions, SynthCache};
+///
+/// # fn main() -> Result<(), reshuffle::PipelineError> {
+/// let src = ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+///            x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+///            .marking { <z-,x+> }\n.end\n";
+/// let cache = SynthCache::new();
+/// let opts = PipelineOptions::default();
+///
+/// // First run does the work and fills the cache ...
+/// let first = Pipeline::from_g(src)?.with_cache(&cache).run(&opts)?;
+/// assert_eq!((cache.hits(), cache.misses()), (0, 1));
+///
+/// // ... the second run on the identical spec is a lookup.
+/// let second = Pipeline::from_g(src)?.with_cache(&cache).run(&opts)?;
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// assert_eq!(second.diagnostics().cache_hits, 1);
+/// assert_eq!(
+///     first.synthesis().netlist.describe(),
+///     second.synthesis().netlist.describe(),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SynthCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Synthesis>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SynthCache {
+    /// Creates an empty cache.
+    pub fn new() -> SynthCache {
+        SynthCache::default()
+    }
+
+    /// Cumulative lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().unwrap().hits
+    }
+
+    /// Cumulative lookups that missed (and ran the pipeline).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().unwrap().misses
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached results (the hit/miss totals stay).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+
+    /// Looks up a finished run, counting a hit or a miss.
+    pub(crate) fn lookup(&self, key: u64) -> Option<Synthesis> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(&key).cloned() {
+            Some(s) => {
+                inner.hits += 1;
+                Some(s)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a finished run under its key.
+    pub(crate) fn insert(&self, key: u64, synthesis: Synthesis) {
+        self.inner.lock().unwrap().map.insert(key, synthesis);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_separates_tags_and_parts() {
+        let a = mix(0, "reduce", &[1, 2]);
+        assert_eq!(a, mix(0, "reduce", &[1, 2]), "mix must be deterministic");
+        assert_ne!(a, mix(0, "reduce", &[2, 1]));
+        assert_ne!(a, mix(0, "resolve", &[1, 2]));
+        assert_ne!(a, mix(1, "reduce", &[1, 2]));
+        // Part boundaries matter: [1,2] vs [12] style collisions are
+        // prevented by hashing the slice (length included).
+        assert_ne!(mix(0, "t", &[1, 2]), mix(0, "t", &[1, 2, 0]));
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-stage diagnostics of a pipeline run.
+//!
+//! Every [`Pipeline`](crate::Pipeline) stage transition appends a
+//! [`StageReport`] — wall time, resulting state count, live candidate
+//! count and pruned/discarded count — to the [`Diagnostics`] record it
+//! threads through to [`Synthesized`](crate::Synthesized). Cache
+//! activity of [`SynthCache`](crate::SynthCache) is counted per run in
+//! [`Diagnostics::cache_hits`] / [`Diagnostics::cache_misses`]: a run
+//! served from the cache records a hit and *no* stage timings.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One stage of the staged pipeline, as reported in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// `.g` parsing ([`Pipeline::from_g`](crate::Pipeline::from_g)).
+    Parse,
+    /// Handshake expansion / completeness gate
+    /// ([`Parsed::expand`](crate::Parsed::expand),
+    /// [`Parsed::complete`](crate::Parsed::complete)).
+    Expand,
+    /// Concurrency reduction ([`Expanded::reduce`](crate::Expanded::reduce)).
+    Reduce,
+    /// CSC resolution ([`Reduced::resolve`](crate::Reduced::resolve)).
+    Resolve,
+    /// Logic synthesis, verification and — for partial specifications —
+    /// the ranked candidate selection
+    /// ([`Resolved::synthesize`](crate::Resolved::synthesize)).
+    Synthesize,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Parse => "parse",
+            Stage::Expand => "expand",
+            Stage::Reduce => "reduce",
+            Stage::Resolve => "resolve",
+            Stage::Synthesize => "synthesize",
+        })
+    }
+}
+
+/// What one executed stage did: how long it took and what it counted.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall time the stage transition took.
+    pub wall: Duration,
+    /// States of the (primary candidate's) state graph after the stage,
+    /// when the stage has one.
+    pub states: Option<usize>,
+    /// Stage-specific candidate count: reshufflings enumerated
+    /// (expand), serializing moves scored (reduce), insertions tried
+    /// (resolve), candidates ranked (synthesize).
+    pub candidates: Option<usize>,
+    /// Stage-specific prune count: lattice points discarded (expand),
+    /// symmetry-dominated moves (reduce).
+    pub pruned: Option<usize>,
+}
+
+/// Everything a pipeline run recorded about itself.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Reports of the stages that actually executed, in order. Empty
+    /// (except for parse) when the run was served from the cache.
+    pub stages: Vec<StageReport>,
+    /// Synthesis-cache hits charged to this run (0 or 1).
+    pub cache_hits: u64,
+    /// Synthesis-cache misses charged to this run (0 or 1; 0 when no
+    /// cache was attached).
+    pub cache_misses: u64,
+}
+
+impl Diagnostics {
+    /// The report of `stage`, if it executed.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|r| r.stage == stage)
+    }
+
+    /// Total wall time across all recorded stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|r| r.wall).sum()
+    }
+
+    /// One line per stage, e.g. for CLI reporting.
+    pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.stages {
+            let _ = write!(out, "{:<10} {:>9.1?}", r.stage.to_string(), r.wall);
+            if let Some(n) = r.states {
+                let _ = write!(out, "  states {n}");
+            }
+            if let Some(n) = r.candidates {
+                let _ = write!(out, "  candidates {n}");
+            }
+            if let Some(n) = r.pruned {
+                let _ = write!(out, "  pruned {n}");
+            }
+            out.push('\n');
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "cache      {} hit{}, {} miss{}",
+                self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" },
+                self.cache_misses,
+                if self.cache_misses == 1 { "" } else { "es" },
+            );
+        }
+        out
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        stage: Stage,
+        wall: Duration,
+        states: Option<usize>,
+        candidates: Option<usize>,
+        pruned: Option<usize>,
+    ) {
+        self.stages.push(StageReport {
+            stage,
+            wall,
+            states,
+            candidates,
+            pruned,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_and_lookup() {
+        let mut d = Diagnostics::default();
+        d.record(Stage::Parse, Duration::from_micros(10), None, None, None);
+        d.record(
+            Stage::Expand,
+            Duration::from_micros(30),
+            Some(6),
+            Some(4),
+            Some(2),
+        );
+        assert_eq!(d.stage(Stage::Expand).unwrap().candidates, Some(4));
+        assert!(d.stage(Stage::Reduce).is_none());
+        assert_eq!(d.total_wall(), Duration::from_micros(40));
+        let s = d.summary();
+        assert!(s.contains("expand"), "{s}");
+        assert!(s.contains("candidates 4"), "{s}");
+        assert!(!s.contains("cache"), "{s}");
+        d.cache_hits = 1;
+        assert!(d.summary().contains("cache      1 hit, 0 misses"));
+    }
+}

@@ -8,8 +8,8 @@
 //! 2. if the specification is *partial* (open `.handshake` channels,
 //!    two-phase toggle events), expand it: enumerate the reshuffling
 //!    lattice (Section 3, [`handshake`]), run every surviving candidate
-//!    through the rest of the pipeline in parallel, and keep the best
-//!    by (state signals inserted, literal estimate, timed cycle);
+//!    through the rest of the pipeline, and keep the best by (state
+//!    signals inserted, literal estimate, timed cycle);
 //! 3. build the binary-encoded state graph ([`sg`]);
 //! 4. check speed independence and Complete State Coding ([`sg`]);
 //! 5. optionally reduce concurrency (Section 4, [`reduce`]) — run
@@ -20,8 +20,14 @@
 //! 7. derive, minimize, and map next-state logic ([`logic`], [`synth`]);
 //! 8. verify the mapped netlist against the specification ([`synth`]).
 //!
-//! The one-call entry point is [`synthesize`]; [`synthesize_with`]
-//! exposes the intermediate artifacts and the knobs.
+//! The primary API is the stage-typed [`Pipeline`] builder: each stage
+//! (`Parsed -> Expanded -> Reduced -> Resolved -> Synthesized`) exposes
+//! its artifacts, each transition takes that stage's options, a
+//! [`Diagnostics`] record collects per-stage wall times and counters,
+//! and a [`SynthCache`] turns repeated identical runs into O(1)
+//! lookups. The legacy free functions ([`synthesize`],
+//! [`synthesize_with`], [`synthesize_stg`], [`synthesize_stg_from`])
+//! remain as thin wrappers over [`Parsed::run`].
 //!
 //! # Example
 //!
@@ -35,10 +41,34 @@
 //! assert_eq!(netlist.signals().len(), 3);
 //! # Ok::<(), reshuffle::PipelineError>(())
 //! ```
+//!
+//! The same run through the builder, inspecting as it goes:
+//!
+//! ```
+//! use reshuffle::{ImplStyle, Pipeline};
+//!
+//! # fn main() -> Result<(), reshuffle::PipelineError> {
+//! # let src = ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+//! #      x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+//! #      .marking { <z-,x+> }\n.end\n";
+//! let expanded = Pipeline::from_g(src)?.complete()?;
+//! assert_eq!(expanded.state_graph().num_states(), 6);
+//! let done = expanded
+//!     .skip_reduce()
+//!     .resolve(&Default::default())?
+//!     .synthesize(ImplStyle::ComplexGate)?;
+//! assert_eq!(done.netlist().signals().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
 use std::fmt;
+
+mod cache;
+mod diag;
+mod pipeline;
 
 /// Petri nets, STGs, `.g` parsing ([`reshuffle_petri`]).
 pub use reshuffle_petri as petri;
@@ -62,11 +92,15 @@ pub use reshuffle_handshake as handshake;
 pub use reshuffle_reduce as reduce;
 
 pub use reshuffle_handshake::{ExpansionOptions, HandshakeError, Reshuffling};
-pub use reshuffle_petri::{parse_g, PetriError, Stg};
+pub use reshuffle_petri::{canonical_fingerprint, parse_g, PetriError, Stg};
 pub use reshuffle_reduce::{MoveStep, ReduceError, ReduceOptions};
 pub use reshuffle_sg::{build_state_graph, SgError, StateGraph};
 pub use reshuffle_synth::{CscOptions, Library, Netlist, SynthError};
 pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
+
+pub use cache::SynthCache;
+pub use diag::{Diagnostics, Stage, StageReport};
+pub use pipeline::{Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized};
 
 /// Errors from the end-to-end pipeline, tagged by the failing stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,7 +207,9 @@ pub enum ImplStyle {
     GeneralizedC,
 }
 
-/// Knobs for [`synthesize_with`].
+/// The flat option record driving [`Parsed::run`] and the legacy
+/// [`synthesize_with`] wrapper. The staged builder takes the same
+/// options one stage at a time instead.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineOptions {
     /// Implementation style (complex gate by default).
@@ -208,12 +244,10 @@ pub struct Synthesis {
     pub netlist: Netlist,
     /// Names of state signals inserted to resolve CSC.
     pub inserted: Vec<String>,
-    /// Serializing moves applied by the concurrency-reduction stage
-    /// (empty when the stage was skipped or found nothing to improve).
-    pub moves: Vec<String>,
-    /// The reduction's winning path with per-move statistics (parallel
-    /// to `moves`; what `tables --moves` renders as deltas).
-    pub move_steps: Vec<MoveStep>,
+    /// Serializing moves applied by the concurrency-reduction stage, in
+    /// order, each carrying its label and post-move statistics (empty
+    /// when the stage was skipped or found nothing to improve).
+    pub moves: Vec<MoveStep>,
     /// Ordering choices of the winning reshuffling when the
     /// handshake-expansion stage ran on a partial specification
     /// (empty for the eager extreme, complete inputs, or when the
@@ -221,10 +255,20 @@ pub struct Synthesis {
     pub expansion: Vec<String>,
 }
 
+impl Synthesis {
+    /// The labels of the applied serializing moves, in order.
+    pub fn move_labels(&self) -> impl Iterator<Item = &str> {
+        self.moves.iter().map(|m| m.label.as_str())
+    }
+}
+
 /// Runs the full pipeline on `.g` source text and returns the mapped
 /// netlist.
 ///
-/// Equivalent to [`synthesize_with`] under [`PipelineOptions::default`].
+/// Thin wrapper over the [`Pipeline`] builder (prefer it for new code:
+/// it exposes per-stage artifacts, [`Diagnostics`] and [`SynthCache`]
+/// reuse). Equivalent to [`synthesize_with`] under
+/// [`PipelineOptions::default`].
 ///
 /// # Errors
 ///
@@ -236,14 +280,22 @@ pub fn synthesize(g_source: &str) -> Result<Netlist> {
 /// Runs the full pipeline with explicit options, returning every
 /// intermediate artifact.
 ///
+/// Thin wrapper over [`Pipeline::from_g`] + [`Parsed::run`]; prefer
+/// the builder for new code.
+///
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
 pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthesis> {
-    synthesize_stg(&parse_g(g_source)?, opts)
+    Pipeline::from_g(g_source)?
+        .run(opts)
+        .map(Synthesized::into_synthesis)
 }
 
 /// Runs the pipeline on an already-parsed STG.
+///
+/// Thin wrapper over [`Pipeline::from_stg`] + [`Parsed::run`]; prefer
+/// the builder for new code.
 ///
 /// Partial specifications (declared `.handshake` channels or toggle
 /// events) are routed through the handshake-expansion stage when
@@ -254,113 +306,18 @@ pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthes
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
 pub fn synthesize_stg(spec: &Stg, opts: &PipelineOptions) -> Result<Synthesis> {
-    if spec.is_partial() {
-        let Some(eopts) = &opts.expand else {
-            return Err(PipelineError::Expand(HandshakeError::NotExpanded));
-        };
-        return expand_and_select(spec, eopts, opts);
-    }
-    let sg0 = build_state_graph(spec)?;
-    synthesize_stg_from(spec, sg0, opts)
-}
-
-/// Search priority of a candidate reshuffling: state signals inserted
-/// (the cost of resolving CSC), then the literal estimate, then the
-/// timed cycle (as order-preserving bits), then enumeration order —
-/// the same lexicographic shape the reduce stage optimizes.
-type ExpandScore = (usize, u32, u64, usize);
-
-/// The Section 3 selection loop: synthesize every enumerated
-/// reshuffling (each composes with the reduce stage if enabled) and
-/// keep the lexicographically best. Candidates are independent, so they
-/// are evaluated in parallel by a scoped worker pool bounded at the
-/// machine's parallelism (a thread per candidate would oversubscribe on
-/// large lattices).
-fn expand_and_select(
-    spec: &Stg,
-    eopts: &ExpansionOptions,
-    opts: &PipelineOptions,
-) -> Result<Synthesis> {
-    let candidates = reshuffle_handshake::expand_handshakes(spec, eopts)?;
-    let inner = PipelineOptions {
-        expand: None,
-        ..opts.clone()
-    };
-    // Score cycles under the same delay model the reduce stage uses.
-    let (input_delay, gate_delay) = match &opts.reduce {
-        Some(r) => (r.input_delay, r.gate_delay),
-        None => (2.0, 1.0),
-    };
-    let evaluate = |c: &Reshuffling| -> Result<(Synthesis, f64)> {
-        let s = synthesize_stg_from(&c.stg, c.sg.clone(), &inner)?;
-        let delays = DelayModel::uniform(&s.stg, input_delay, gate_delay);
-        let run = simulate(&s.stg, &delays, &SimOptions::default())?;
-        Ok((s, run.period))
-    };
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(candidates.len())
-        .max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut outcomes: Vec<Option<Result<(Synthesis, f64)>>> =
-        (0..candidates.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(c) = candidates.get(i) else { break };
-                        local.push((i, evaluate(c)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("reshuffling evaluation panicked") {
-                outcomes[i] = Some(r);
-            }
-        }
-    });
-    let outcomes: Vec<Result<(Synthesis, f64)>> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every candidate evaluated"))
-        .collect();
-
-    let mut best: Option<(ExpandScore, usize)> = None;
-    for (i, outcome) in outcomes.iter().enumerate() {
-        let Ok((s, cycle)) = outcome else { continue };
-        let score: ExpandScore = (
-            s.inserted.len(),
-            reshuffle_synth::literal_estimate(&s.sg),
-            cycle.to_bits(),
-            i,
-        );
-        if !matches!(best, Some((b, _)) if b <= score) {
-            best = Some((score, i));
-        }
-    }
-    match best {
-        Some((_, i)) => {
-            let (mut s, _) = outcomes.into_iter().nth(i).unwrap().unwrap();
-            s.expansion = candidates[i].choices.clone();
-            Ok(s)
-        }
-        // Every reshuffling failed synthesis; surface the eager
-        // extreme's error as the representative one.
-        None => Err(outcomes
-            .into_iter()
-            .find_map(|o| o.err())
-            .unwrap_or(PipelineError::Expand(HandshakeError::NoFeasibleReshuffling))),
-    }
+    Pipeline::from_stg(spec)
+        .run(opts)
+        .map(Synthesized::into_synthesis)
 }
 
 /// [`synthesize_stg`] for callers that already built the
 /// specification's state graph (`sg0` must be the state graph of
-/// `spec`); avoids rebuilding the most expensive artifact.
+/// `spec`); avoids rebuilding the most expensive artifact. Rejects
+/// partial specifications (their candidates carry their own graphs).
+///
+/// Thin wrapper over [`Pipeline::from_parts`] and the staged chain;
+/// prefer the builder for new code.
 ///
 /// # Errors
 ///
@@ -370,64 +327,18 @@ pub fn synthesize_stg_from(
     sg0: StateGraph,
     opts: &PipelineOptions,
 ) -> Result<Synthesis> {
-    if spec.is_partial() {
-        return Err(PipelineError::Expand(HandshakeError::NotExpanded));
-    }
-    let si = reshuffle_sg::props::speed_independence(&sg0);
-    if !si.is_speed_independent() {
-        return Err(PipelineError::NotSpeedIndependent {
-            violations: si.nondeterminism.len()
-                + si.noncommutativity.len()
-                + si.nonpersistency.len(),
-        });
-    }
-
-    // Opt-in concurrency reduction runs before CSC resolution, so
-    // reductions that dissolve conflicts win over state-signal
-    // insertion. The reducer preserves speed independence by
-    // construction, so the gate above still covers the reduced graph;
-    // it also reports the reduced graph's conflict count, which lets a
-    // conflict-free reduction skip the coding analysis below entirely.
-    let (spec, sg0, moves, move_steps, known_conflicts) = match &opts.reduce {
-        None => (spec.clone(), sg0, Vec::new(), Vec::new(), None),
-        Some(ropts) => {
-            let r = reshuffle_reduce::reduce_concurrency_from(spec, sg0, ropts)?;
-            (r.stg, r.sg, r.moves, r.steps, Some(r.csc_conflicts))
-        }
+    let expanded = Pipeline::from_parts(spec.clone(), sg0).complete()?;
+    let reduced = match &opts.reduce {
+        Some(ropts) => expanded.reduce(ropts)?,
+        None => expanded.skip_reduce(),
     };
-
-    // `analyze_csc` runs at most once per graph in this pipeline: one
-    // analysis serves both the conflict check and the resolver.
-    let (stg, sg, inserted) = if known_conflicts == Some(0) {
-        (spec, sg0, Vec::new())
+    let resolved = reduced.resolve(&opts.csc)?;
+    let done = if opts.skip_verify {
+        resolved.synthesize_unverified(opts.style)?
     } else {
-        let analysis = reshuffle_sg::csc::analyze_csc(&sg0);
-        if analysis.has_csc() {
-            (spec, sg0, Vec::new())
-        } else {
-            // Hand the already-built graph and its analysis to the
-            // resolver rather than letting it rebuild either.
-            let r = reshuffle_synth::resolve_csc_analyzed(&spec, sg0, &analysis, &opts.csc)?;
-            (r.stg, r.sg, r.inserted)
-        }
+        resolved.synthesize(opts.style)?
     };
-
-    let netlist = match opts.style {
-        ImplStyle::ComplexGate => reshuffle_synth::synthesize_complex_gates(&sg)?.netlist,
-        ImplStyle::GeneralizedC => reshuffle_synth::synthesize_gc(&sg)?.netlist,
-    };
-    if !opts.skip_verify {
-        reshuffle_synth::verify_against_sg(&sg, &netlist)?;
-    }
-    Ok(Synthesis {
-        stg,
-        sg,
-        netlist,
-        inserted,
-        moves,
-        move_steps,
-        expansion: Vec::new(),
-    })
+    Ok(done.into_synthesis())
 }
 
 #[cfg(test)]
@@ -542,10 +453,10 @@ Req+ Ack+
             ..Default::default()
         };
         let s = synthesize_with(MFIG1_G, &opts).unwrap();
-        assert_eq!(s.moves, vec!["Ack- -> Req+".to_string()]);
-        // The per-move trajectory rides along for reporting.
-        assert_eq!(s.move_steps.len(), 1);
-        assert_eq!(s.move_steps[0].label, s.moves[0]);
+        // The typed move list carries label and per-move statistics.
+        assert_eq!(s.move_labels().collect::<Vec<_>>(), ["Ack- -> Req+"]);
+        assert_eq!(s.moves.len(), 1);
+        assert_eq!(s.moves[0].csc_conflicts, 0);
         assert!(s.inserted.is_empty());
         assert_eq!(s.sg.num_states(), 4);
     }
@@ -665,5 +576,164 @@ Go- Req~
             Err(PipelineError::Parse(_)) => {}
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    // --- builder-specific behaviour ---------------------------------
+
+    #[test]
+    fn staged_chain_exposes_artifacts_and_diagnostics() {
+        let parsed = Pipeline::from_g(XYZ_G).unwrap();
+        assert!(!parsed.is_partial());
+        assert_eq!(parsed.stg().num_signals(), 3);
+        assert!(parsed.diagnostics().stage(Stage::Parse).is_some());
+
+        let expanded = parsed.complete().unwrap();
+        assert_eq!(expanded.state_graph().num_states(), 6);
+        assert_eq!(expanded.num_candidates(), 1);
+
+        let reduced = expanded.reduce(&ReduceOptions::default()).unwrap();
+        assert!(reduced.moves().is_empty());
+
+        let resolved = reduced.resolve(&CscOptions::default()).unwrap();
+        assert!(resolved.inserted().is_empty());
+        assert_eq!(resolved.state_graph().num_states(), 6);
+
+        let done = resolved.synthesize(ImplStyle::ComplexGate).unwrap();
+        assert_eq!(done.netlist().signals().len(), 3);
+        let diag = done.diagnostics();
+        for stage in [
+            Stage::Parse,
+            Stage::Expand,
+            Stage::Reduce,
+            Stage::Resolve,
+            Stage::Synthesize,
+        ] {
+            assert!(diag.stage(stage).is_some(), "missing report for {stage}");
+        }
+        assert_eq!(diag.stage(Stage::Expand).unwrap().states, Some(6));
+        assert_eq!(diag.stage(Stage::Synthesize).unwrap().candidates, Some(1));
+        assert!(!diag.summary().is_empty());
+    }
+
+    #[test]
+    fn complete_rejects_partial_specs() {
+        let parsed = Pipeline::from_g(PCREQ_G).unwrap();
+        assert!(parsed.is_partial());
+        match parsed.complete() {
+            Err(PipelineError::Expand(HandshakeError::NotExpanded)) => {}
+            other => panic!("expected NotExpanded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expanded_candidates_are_inspectable() {
+        let expanded = Pipeline::from_g(PCREQ_G)
+            .unwrap()
+            .expand(&ExpansionOptions::default())
+            .unwrap();
+        assert!(expanded.num_candidates() >= 2);
+        let diag_report = expanded.diagnostics().stage(Stage::Expand).unwrap();
+        assert_eq!(diag_report.candidates, Some(expanded.num_candidates()));
+        // Eager extreme first: no ordering commitments.
+        let (stg, choices) = expanded.candidates().next().unwrap();
+        assert!(choices.is_empty());
+        assert!(!stg.is_partial());
+    }
+
+    #[test]
+    fn second_run_is_served_from_the_cache() {
+        let cache = SynthCache::new();
+        let opts = PipelineOptions::default();
+        let first = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(first.diagnostics().cache_misses, 1);
+        assert!(first.diagnostics().stage(Stage::Synthesize).is_some());
+
+        let second = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        // Hit counter = 1, and no re-synthesis timing recorded: only
+        // the parse stage ran.
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(second.diagnostics().cache_hits, 1);
+        assert!(second.diagnostics().stage(Stage::Synthesize).is_none());
+        assert!(second.diagnostics().stage(Stage::Expand).is_none());
+        assert_eq!(
+            first.netlist().describe(),
+            second.netlist().describe(),
+            "cached netlist drifted"
+        );
+    }
+
+    #[test]
+    fn cache_distinguishes_options_and_specs() {
+        let cache = SynthCache::new();
+        let base = PipelineOptions::default();
+        let gc = PipelineOptions {
+            style: ImplStyle::GeneralizedC,
+            ..Default::default()
+        };
+        for opts in [&base, &gc] {
+            Pipeline::from_g(XYZ_G)
+                .unwrap()
+                .with_cache(&cache)
+                .run(opts)
+                .unwrap();
+        }
+        Pipeline::from_g(TOGGLE_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&base)
+            .unwrap();
+        // Three distinct keys, no false hits.
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert_eq!(cache.len(), 3);
+        // Same spec parsed from equivalent text still hits.
+        let reparsed = petri::write_g(&parse_g(XYZ_G).unwrap());
+        Pipeline::from_g(&reparsed)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&base)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+    }
+
+    #[test]
+    fn staged_chain_hits_the_cache_a_run_filled() {
+        // The staged chain accumulates the same key run() precomputes.
+        let cache = SynthCache::new();
+        let opts = PipelineOptions {
+            reduce: Some(ReduceOptions::default()),
+            ..Default::default()
+        };
+        Pipeline::from_g(MFIG1_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let done = Pipeline::from_g(MFIG1_G)
+            .unwrap()
+            .with_cache(&cache)
+            .complete()
+            .unwrap()
+            .reduce(&ReduceOptions::default())
+            .unwrap()
+            .resolve(&CscOptions::default())
+            .unwrap()
+            .synthesize(ImplStyle::ComplexGate)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(done.diagnostics().cache_hits, 1);
+        assert_eq!(
+            done.synthesis().move_labels().collect::<Vec<_>>(),
+            ["Ack- -> Req+"]
+        );
     }
 }

@@ -1,0 +1,896 @@
+//! The stage-typed pipeline builder.
+//!
+//! [`Pipeline::from_g`] / [`Pipeline::from_stg`] start a typestate
+//! chain `Parsed -> Expanded -> Reduced -> Resolved -> Synthesized`:
+//! each stage owns that point's artifacts for inspection, each
+//! transition takes exactly that stage's options, and orderings the
+//! paper's flow forbids (reducing or resolving a specification whose
+//! handshake expansion decision has not been made) are not expressible
+//! — `reduce` simply does not exist on [`Parsed`].
+//!
+//! For a *partial* specification, [`Parsed::expand`] enumerates the
+//! reshuffling lattice and the chain carries every surviving candidate
+//! forward; the ranked selection (state signals inserted, literal
+//! estimate, timed cycle) happens in [`Resolved::synthesize`], exactly
+//! as in the paper's flow, so a stage-by-stage chain and the
+//! [`Parsed::run`] shortcut produce identical results.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use reshuffle_handshake::{expand_handshakes_stats, ExpansionOptions, HandshakeError};
+use reshuffle_petri::{canonical_fingerprint, parse_g, Stg};
+use reshuffle_reduce::{MoveStep, ReduceOptions};
+use reshuffle_sg::csc::analyze_csc;
+use reshuffle_sg::props::speed_independence;
+use reshuffle_sg::{build_state_graph, StateGraph};
+use reshuffle_synth::{
+    literal_estimate, resolve_csc_analyzed, synthesize_complex_gates, synthesize_gc,
+    verify_against_sg, CscOptions, Netlist,
+};
+use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+use crate::cache::{mix, SynthCache};
+use crate::diag::{Diagnostics, Stage};
+use crate::{ImplStyle, PipelineError, PipelineOptions, Result, Synthesis};
+
+/// Entry points of the stage-typed builder.
+///
+/// # Stop-at-state-graph inspection
+///
+/// Every stage exposes its artifact, so a caller can stop anywhere —
+/// here after the state graph is built — and still continue the same
+/// chain to a netlist:
+///
+/// ```
+/// use reshuffle::{ImplStyle, Pipeline};
+///
+/// # fn main() -> Result<(), reshuffle::PipelineError> {
+/// let src = ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+///            x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+///            .marking { <z-,x+> }\n.end\n";
+/// let expanded = Pipeline::from_g(src)?.complete()?;
+/// assert_eq!(expanded.state_graph().num_states(), 6); // inspect ...
+///
+/// let done = expanded
+///     .skip_reduce()
+///     .resolve(&Default::default())?
+///     .synthesize(ImplStyle::ComplexGate)?; // ... then keep going.
+/// assert_eq!(done.netlist().signals().len(), 3);
+/// assert!(done.diagnostics().total_wall().as_nanos() > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Partial-specification expansion
+///
+/// A partial spec (open `.handshake` channel) must go through
+/// [`Parsed::expand`]; the candidates ride the chain and the best one
+/// is selected at [`Resolved::synthesize`]:
+///
+/// ```
+/// use reshuffle::{ImplStyle, Pipeline};
+///
+/// # fn main() -> Result<(), reshuffle::PipelineError> {
+/// let src = ".model pcreq\n.inputs Ack\n.outputs Req Go\n.handshake Req Ack\n\
+///            .graph\nReq~ Ack~\nAck~ Go+\nGo+ Go-\nGo- Req~\n\
+///            .marking { <Go-,Req~> }\n.end\n";
+/// let expanded = Pipeline::from_g(src)?.expand(&Default::default())?;
+/// assert!(expanded.num_candidates() >= 2); // the reshuffling lattice
+///
+/// let done = expanded
+///     .skip_reduce()
+///     .resolve(&Default::default())?
+///     .synthesize(ImplStyle::ComplexGate)?;
+/// // The ranked selection committed the winning reshuffling.
+/// assert_eq!(
+///     done.synthesis().expansion,
+///     ["Go+ -> Req-".to_string(), "Go- -> Ack-".to_string()],
+/// );
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The one-call shortcut is [`Parsed::run`]; cache-backed runs are in
+/// the [`SynthCache`] docs.
+#[non_exhaustive]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Parses `.g` source text and starts a pipeline on it.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Parse`] when the source is malformed.
+    pub fn from_g(g_source: &str) -> Result<Parsed> {
+        let t = Instant::now();
+        let stg = parse_g(g_source)?;
+        let mut parsed = Pipeline::from_stg_owned(stg);
+        parsed
+            .ctx
+            .diag
+            .record(Stage::Parse, t.elapsed(), None, None, None);
+        Ok(parsed)
+    }
+
+    /// Starts a pipeline on an already-parsed specification.
+    pub fn from_stg(stg: &Stg) -> Parsed {
+        Pipeline::from_stg_owned(stg.clone())
+    }
+
+    /// [`Pipeline::from_stg`] for callers that also pre-built the
+    /// specification's state graph (`sg` must be the state graph of
+    /// `stg`); the chain will not rebuild it.
+    pub fn from_parts(stg: Stg, sg: StateGraph) -> Parsed {
+        let mut parsed = Pipeline::from_stg_owned(stg);
+        parsed.sg = Some(sg);
+        parsed
+    }
+
+    fn from_stg_owned(stg: Stg) -> Parsed {
+        let spec_fp = canonical_fingerprint(&stg);
+        Parsed {
+            stg,
+            sg: None,
+            ctx: Ctx {
+                spec_fp,
+                opts_hash: 0,
+                delays: (2.0, 1.0),
+                selecting: false,
+                diag: Diagnostics::default(),
+                cache: None,
+            },
+        }
+    }
+}
+
+/// State threaded through every stage of one pipeline.
+#[derive(Debug)]
+struct Ctx {
+    /// Canonical fingerprint of the *input* specification.
+    spec_fp: u64,
+    /// Hash of the option trail committed so far (cache key half).
+    opts_hash: u64,
+    /// (input, gate) delays for the final candidate ranking — set by
+    /// the reduce stage, defaulted to the Table 1/2 model otherwise.
+    delays: (f64, f64),
+    /// True when several expansion candidates are still pending the
+    /// ranked selection (per-candidate failures are soft until then).
+    selecting: bool,
+    diag: Diagnostics,
+    cache: Option<SynthCache>,
+}
+
+/// One in-flight refinement of the specification.
+#[derive(Debug)]
+struct Candidate {
+    stg: Stg,
+    sg: StateGraph,
+    choices: Vec<String>,
+    moves: Vec<MoveStep>,
+    inserted: Vec<String>,
+    /// CSC conflict count if a stage already established it.
+    known_conflicts: Option<usize>,
+}
+
+type CandResult = Result<Candidate>;
+
+/// Applies one stage's work to every live candidate, in parallel when
+/// several are live (slots that already failed pass through untouched;
+/// results keep their slot order, so the chain stays deterministic).
+fn stage_map<T, F>(cands: Vec<CandResult>, f: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize, Candidate) -> Result<T> + Sync,
+{
+    let live = cands.iter().filter(|c| c.is_ok()).count();
+    if live <= 1 {
+        return cands
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.and_then(|c| f(i, c)))
+            .collect();
+    }
+    let n = cands.len();
+    let queue: Mutex<Vec<(usize, CandResult)>> =
+        Mutex::new(cands.into_iter().enumerate().collect());
+    let out: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
+        .min(live);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some((i, c)) = queue.lock().unwrap().pop() else {
+                    break;
+                };
+                *out[i].lock().unwrap() = Some(c.and_then(|c| f(i, c)));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every slot computed"))
+        .collect()
+}
+
+/// Enforces the per-stage failure policy: while candidates are pending
+/// selection a failure is soft until *every* candidate has failed (the
+/// first failure, in enumeration order, is then representative — the
+/// same error the one-call pipeline reported); outside selection the
+/// single candidate's failure is the stage's failure.
+fn enforce_live<T>(cands: &[Result<T>]) -> Result<()> {
+    match cands.iter().find_map(|c| c.as_ref().err()) {
+        Some(first) if cands.iter().all(|c| c.is_err()) => Err(first.clone()),
+        _ => Ok(()),
+    }
+}
+
+/// Rejects specifications that are not speed-independent, with the
+/// violation-witness count the legacy facade reported.
+fn gate_speed_independence(sg: &StateGraph) -> Result<()> {
+    let si = speed_independence(sg);
+    if si.is_speed_independent() {
+        Ok(())
+    } else {
+        Err(PipelineError::NotSpeedIndependent {
+            violations: si.nondeterminism.len()
+                + si.noncommutativity.len()
+                + si.nonpersistency.len(),
+        })
+    }
+}
+
+// --- option-trail hashing -------------------------------------------
+//
+// Each staged transition commits its options into the trail with the
+// helper matching its stage; `options_key` replays the same sequence
+// from a flat `PipelineOptions`, so `run()` can test the cache *before*
+// doing any work while a manual chain arrives at the identical key.
+
+fn mix_expand(h: u64, opts: Option<&ExpansionOptions>) -> u64 {
+    match opts {
+        Some(e) => mix(h, "expand", &[e.max_reshufflings as u64]),
+        None => mix(h, "complete", &[]),
+    }
+}
+
+fn mix_reduce(h: u64, opts: Option<&ReduceOptions>) -> u64 {
+    match opts {
+        Some(r) => mix(
+            h,
+            "reduce",
+            &[
+                r.max_cycle_time.is_some() as u64,
+                r.max_cycle_time.unwrap_or(0.0).to_bits(),
+                r.max_moves as u64,
+                r.max_expansions as u64,
+                r.input_delay.to_bits(),
+                r.gate_delay.to_bits(),
+            ],
+        ),
+        None => mix(h, "skip_reduce", &[]),
+    }
+}
+
+fn mix_resolve(h: u64, opts: &CscOptions) -> u64 {
+    mix(
+        h,
+        "resolve",
+        &[opts.max_signals as u64, opts.rank_pool as u64],
+    )
+}
+
+fn mix_synthesize(h: u64, style: ImplStyle, verify: bool) -> u64 {
+    let style_tag = match style {
+        ImplStyle::ComplexGate => 0u64,
+        ImplStyle::GeneralizedC => 1u64,
+    };
+    mix(h, "synthesize", &[style_tag, verify as u64])
+}
+
+/// The cache key a [`Parsed::run`] with these options will use.
+fn options_key(spec_fp: u64, opts: &PipelineOptions) -> u64 {
+    let mut h = 0u64;
+    h = mix_expand(h, opts.expand.as_ref());
+    h = mix_reduce(h, opts.reduce.as_ref());
+    h = mix_resolve(h, &opts.csc);
+    h = mix_synthesize(h, opts.style, !opts.skip_verify);
+    mix(spec_fp, "key", &[h])
+}
+
+// --- Parsed ----------------------------------------------------------
+
+/// A parsed specification: the start of the stage chain.
+#[derive(Debug)]
+pub struct Parsed {
+    stg: Stg,
+    sg: Option<StateGraph>,
+    ctx: Ctx,
+}
+
+impl Parsed {
+    /// The parsed specification.
+    pub fn stg(&self) -> &Stg {
+        &self.stg
+    }
+
+    /// True when the specification is partial (open `.handshake`
+    /// channels or toggle events) and must go through [`Parsed::expand`].
+    pub fn is_partial(&self) -> bool {
+        self.stg.is_partial()
+    }
+
+    /// Diagnostics recorded so far (parse wall time).
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.ctx.diag
+    }
+
+    /// Attaches a synthesis cache: [`Parsed::run`] will serve repeated
+    /// identical runs from it, and a manual chain will consult it at
+    /// [`Resolved::synthesize`].
+    pub fn with_cache(mut self, cache: &SynthCache) -> Parsed {
+        self.ctx.cache = Some(cache.clone());
+        self
+    }
+
+    /// Certifies the specification complete and enters the expansion
+    /// stage as a no-op: the only way past this point without
+    /// committing expansion options.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::Expand`] ([`HandshakeError::NotExpanded`])
+    ///   when the specification is in fact partial;
+    /// * [`PipelineError::StateGraph`] when it has no state graph;
+    /// * [`PipelineError::NotSpeedIndependent`] when it violates speed
+    ///   independence.
+    pub fn complete(mut self) -> Result<Expanded> {
+        self.ctx.opts_hash = mix_expand(self.ctx.opts_hash, None);
+        self.complete_inner()
+    }
+
+    /// The complete-specification passthrough, shared by
+    /// [`Parsed::complete`] and [`Parsed::expand`]: does the work but
+    /// leaves the option trail to the caller (each public transition
+    /// mixes exactly its own tag).
+    fn complete_inner(mut self) -> Result<Expanded> {
+        let t = Instant::now();
+        if self.stg.is_partial() {
+            return Err(PipelineError::Expand(HandshakeError::NotExpanded));
+        }
+        let sg = match self.sg.take() {
+            Some(sg) => sg,
+            None => build_state_graph(&self.stg)?,
+        };
+        gate_speed_independence(&sg)?;
+        let states = sg.num_states();
+        let mut ctx = self.ctx;
+        ctx.selecting = false;
+        ctx.diag
+            .record(Stage::Expand, t.elapsed(), Some(states), Some(1), Some(0));
+        Ok(Expanded {
+            cands: vec![Ok(Candidate {
+                stg: self.stg,
+                sg,
+                choices: Vec::new(),
+                moves: Vec::new(),
+                inserted: Vec::new(),
+                known_conflicts: None,
+            })],
+            ctx,
+        })
+    }
+
+    /// Runs the Section 3 handshake-expansion stage. For a partial
+    /// specification this enumerates the reshuffling lattice and
+    /// carries every surviving candidate forward (the ranked selection
+    /// happens in [`Resolved::synthesize`]); a complete specification
+    /// passes through untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::Expand`] when enumeration fails (malformed
+    ///   channels, no feasible reshuffling);
+    /// * the [`Parsed::complete`] errors for complete inputs.
+    pub fn expand(mut self, opts: &ExpansionOptions) -> Result<Expanded> {
+        self.ctx.opts_hash = mix_expand(self.ctx.opts_hash, Some(opts));
+        if !self.stg.is_partial() {
+            // Identity on complete specifications — the trail above
+            // still records that the expansion stage was configured.
+            return self.complete_inner();
+        }
+        let t = Instant::now();
+        let expansion = expand_handshakes_stats(&self.stg, opts)?;
+        let enumerated = expansion.reshufflings.len();
+        let pruned = expansion.stats.pruned();
+        let cands: Vec<CandResult> = expansion
+            .reshufflings
+            .into_iter()
+            .map(|r| {
+                gate_speed_independence(&r.sg)?;
+                Ok(Candidate {
+                    stg: r.stg,
+                    sg: r.sg,
+                    choices: r.choices,
+                    moves: Vec::new(),
+                    inserted: Vec::new(),
+                    known_conflicts: None,
+                })
+            })
+            .collect();
+        enforce_live(&cands)?;
+        let states = cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .map(|c| c.sg.num_states());
+        let mut ctx = self.ctx;
+        ctx.selecting = true;
+        ctx.diag.record(
+            Stage::Expand,
+            t.elapsed(),
+            states,
+            Some(enumerated),
+            Some(pruned),
+        );
+        Ok(Expanded { cands, ctx })
+    }
+
+    /// The one-call shortcut: runs the whole chain under a flat
+    /// [`PipelineOptions`], reproducing the legacy free functions —
+    /// `expand` set routes through [`Parsed::expand`], `reduce` set
+    /// through [`Expanded::reduce`], and an attached [`SynthCache`] is
+    /// consulted *before* any stage runs (a hit records no stage
+    /// timings).
+    ///
+    /// # Errors
+    ///
+    /// Any stage failure, tagged by [`PipelineError`] variant.
+    pub fn run(mut self, opts: &PipelineOptions) -> Result<Synthesized> {
+        let cache = self.ctx.cache.take();
+        let key = options_key(self.ctx.spec_fp, opts);
+        if let Some(cache) = &cache {
+            if let Some(synthesis) = cache.lookup(key) {
+                let mut diag = self.ctx.diag;
+                diag.cache_hits += 1;
+                return Ok(Synthesized { synthesis, diag });
+            }
+            self.ctx.diag.cache_misses += 1;
+        }
+        let expanded = match &opts.expand {
+            Some(eopts) => self.expand(eopts)?,
+            None => self.complete()?,
+        };
+        let reduced = match &opts.reduce {
+            Some(ropts) => expanded.reduce(ropts)?,
+            None => expanded.skip_reduce(),
+        };
+        let resolved = reduced.resolve(&opts.csc)?;
+        let done = if opts.skip_verify {
+            resolved.synthesize_unverified(opts.style)?
+        } else {
+            resolved.synthesize(opts.style)?
+        };
+        if let Some(cache) = cache {
+            cache.insert(key, done.synthesis.clone());
+        }
+        Ok(done)
+    }
+}
+
+// --- Expanded --------------------------------------------------------
+
+/// Past the expansion decision: one complete specification, or — for
+/// partial inputs — the surviving reshuffling candidates.
+#[derive(Debug)]
+pub struct Expanded {
+    cands: Vec<CandResult>,
+    ctx: Ctx,
+}
+
+impl Expanded {
+    fn primary(&self) -> &Candidate {
+        self.cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .expect("stage invariant: at least one live candidate")
+    }
+
+    /// The (primary candidate's) complete STG. For a partial input this
+    /// is the first surviving reshuffling — the eager extreme unless it
+    /// was pruned.
+    pub fn stg(&self) -> &Stg {
+        &self.primary().stg
+    }
+
+    /// The (primary candidate's) state graph.
+    pub fn state_graph(&self) -> &StateGraph {
+        &self.primary().sg
+    }
+
+    /// Number of candidates still in the running.
+    pub fn num_candidates(&self) -> usize {
+        self.cands.iter().filter(|c| c.is_ok()).count()
+    }
+
+    /// The live candidates: each one's complete STG and the ordering
+    /// choices that produced it (empty for the eager extreme and for
+    /// complete inputs).
+    pub fn candidates(&self) -> impl Iterator<Item = (&Stg, &[String])> {
+        self.cands
+            .iter()
+            .filter_map(|c| c.as_ref().ok())
+            .map(|c| (&c.stg, c.choices.as_slice()))
+    }
+
+    /// Diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.ctx.diag
+    }
+
+    /// Skips the opt-in concurrency-reduction stage.
+    pub fn skip_reduce(mut self) -> Reduced {
+        self.ctx.opts_hash = mix_reduce(self.ctx.opts_hash, None);
+        Reduced {
+            cands: self.cands,
+            ctx: self.ctx,
+        }
+    }
+
+    /// Runs the Section 4 concurrency-reduction stage on every live
+    /// candidate (before CSC resolution, so serializations that
+    /// dissolve conflicts are preferred over state-signal insertion).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Reduce`] when the search fails — e.g. the
+    /// cycle-time bound excludes every reduction (soft per candidate
+    /// while a selection is pending).
+    pub fn reduce(mut self, opts: &ReduceOptions) -> Result<Reduced> {
+        let t = Instant::now();
+        self.ctx.opts_hash = mix_reduce(self.ctx.opts_hash, Some(opts));
+        self.ctx.delays = (opts.input_delay, opts.gate_delay);
+        let outcomes = stage_map(self.cands, |_, c| {
+            let r = reshuffle_reduce::reduce_concurrency_from(&c.stg, c.sg, opts)
+                .map_err(PipelineError::Reduce)?;
+            Ok((
+                Candidate {
+                    stg: r.stg,
+                    sg: r.sg,
+                    moves: r.steps,
+                    known_conflicts: Some(r.csc_conflicts),
+                    choices: c.choices,
+                    inserted: c.inserted,
+                },
+                r.scored,
+                r.pruned,
+            ))
+        });
+        enforce_live(&outcomes)?;
+        let mut scored = 0usize;
+        let mut pruned = 0usize;
+        let cands: Vec<CandResult> = outcomes
+            .into_iter()
+            .map(|o| {
+                o.map(|(c, s, p)| {
+                    scored += s;
+                    pruned += p;
+                    c
+                })
+            })
+            .collect();
+        let states = cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .map(|c| c.sg.num_states());
+        self.ctx.diag.record(
+            Stage::Reduce,
+            t.elapsed(),
+            states,
+            Some(scored),
+            Some(pruned),
+        );
+        Ok(Reduced {
+            cands,
+            ctx: self.ctx,
+        })
+    }
+}
+
+// --- Reduced ---------------------------------------------------------
+
+/// Past the (possibly skipped) concurrency-reduction stage.
+#[derive(Debug)]
+pub struct Reduced {
+    cands: Vec<CandResult>,
+    ctx: Ctx,
+}
+
+impl Reduced {
+    fn primary(&self) -> &Candidate {
+        self.cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .expect("stage invariant: at least one live candidate")
+    }
+
+    /// The (primary candidate's) STG after reduction.
+    pub fn stg(&self) -> &Stg {
+        &self.primary().stg
+    }
+
+    /// The (primary candidate's) state graph after reduction.
+    pub fn state_graph(&self) -> &StateGraph {
+        &self.primary().sg
+    }
+
+    /// The serializing moves the reduction applied to the primary
+    /// candidate, with per-move statistics (empty when the stage was
+    /// skipped or found nothing to improve).
+    pub fn moves(&self) -> &[MoveStep] {
+        &self.primary().moves
+    }
+
+    /// Diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.ctx.diag
+    }
+
+    /// Resolves remaining CSC conflicts by state-signal insertion
+    /// (a no-op for candidates that already satisfy CSC).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Synth`] when the insertion search stalls (soft
+    /// per candidate while a selection is pending).
+    pub fn resolve(mut self, opts: &CscOptions) -> Result<Resolved> {
+        let t = Instant::now();
+        self.ctx.opts_hash = mix_resolve(self.ctx.opts_hash, opts);
+        let outcomes = stage_map(self.cands, |_, c| {
+            if c.known_conflicts == Some(0) {
+                return Ok((c, 0));
+            }
+            let Candidate {
+                stg,
+                sg,
+                choices,
+                moves,
+                inserted,
+                known_conflicts: _,
+            } = c;
+            // One analysis serves both the conflict check and the
+            // resolver; the resolver never re-analyzes a graph it was
+            // handed an analysis for.
+            let analysis = analyze_csc(&sg);
+            if analysis.has_csc() {
+                return Ok((
+                    Candidate {
+                        stg,
+                        sg,
+                        choices,
+                        moves,
+                        inserted,
+                        known_conflicts: Some(0),
+                    },
+                    0,
+                ));
+            }
+            let r =
+                resolve_csc_analyzed(&stg, sg, &analysis, opts).map_err(PipelineError::Synth)?;
+            Ok((
+                Candidate {
+                    stg: r.stg,
+                    sg: r.sg,
+                    inserted: r.inserted,
+                    choices,
+                    moves,
+                    known_conflicts: Some(0),
+                },
+                r.tried,
+            ))
+        });
+        enforce_live(&outcomes)?;
+        let mut tried = 0usize;
+        let cands: Vec<CandResult> = outcomes
+            .into_iter()
+            .map(|o| {
+                o.map(|(c, t)| {
+                    tried += t;
+                    c
+                })
+            })
+            .collect();
+        let states = cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .map(|c| c.sg.num_states());
+        self.ctx
+            .diag
+            .record(Stage::Resolve, t.elapsed(), states, Some(tried), None);
+        Ok(Resolved {
+            cands,
+            ctx: self.ctx,
+        })
+    }
+}
+
+// --- Resolved --------------------------------------------------------
+
+/// CSC satisfied on every live candidate: ready for logic synthesis.
+#[derive(Debug)]
+pub struct Resolved {
+    cands: Vec<CandResult>,
+    ctx: Ctx,
+}
+
+impl Resolved {
+    fn primary(&self) -> &Candidate {
+        self.cands
+            .iter()
+            .find_map(|c| c.as_ref().ok())
+            .expect("stage invariant: at least one live candidate")
+    }
+
+    /// The (primary candidate's) STG after any CSC insertions.
+    pub fn stg(&self) -> &Stg {
+        &self.primary().stg
+    }
+
+    /// The (primary candidate's) conflict-free state graph.
+    pub fn state_graph(&self) -> &StateGraph {
+        &self.primary().sg
+    }
+
+    /// State signals inserted into the primary candidate to resolve
+    /// CSC (empty when the specification already satisfied it).
+    pub fn inserted(&self) -> &[String] {
+        &self.primary().inserted
+    }
+
+    /// Diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.ctx.diag
+    }
+
+    /// Derives, minimizes and maps the next-state logic in the given
+    /// style, verifies the netlist against the specification, and — for
+    /// partial inputs — commits the ranked candidate selection (state
+    /// signals inserted, then literal estimate, then timed cycle).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Synth`] / [`PipelineError::Timing`] from
+    /// synthesis, verification or the ranking simulation.
+    pub fn synthesize(self, style: ImplStyle) -> Result<Synthesized> {
+        self.finish(style, true)
+    }
+
+    /// [`Resolved::synthesize`] without the final
+    /// implementation-vs-specification check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Resolved::synthesize`].
+    pub fn synthesize_unverified(self, style: ImplStyle) -> Result<Synthesized> {
+        self.finish(style, false)
+    }
+
+    fn finish(mut self, style: ImplStyle, verify: bool) -> Result<Synthesized> {
+        let t = Instant::now();
+        self.ctx.opts_hash = mix_synthesize(self.ctx.opts_hash, style, verify);
+        let key = mix(self.ctx.spec_fp, "key", &[self.ctx.opts_hash]);
+        if let Some(cache) = &self.ctx.cache {
+            if let Some(synthesis) = cache.lookup(key) {
+                let mut diag = self.ctx.diag;
+                diag.cache_hits += 1;
+                return Ok(Synthesized { synthesis, diag });
+            }
+            self.ctx.diag.cache_misses += 1;
+        }
+        let selecting = self.ctx.selecting;
+        let (input_delay, gate_delay) = self.ctx.delays;
+        let outcomes = stage_map(self.cands, |_, c| {
+            let netlist = match style {
+                ImplStyle::ComplexGate => synthesize_complex_gates(&c.sg)?.netlist,
+                ImplStyle::GeneralizedC => synthesize_gc(&c.sg)?.netlist,
+            };
+            if verify {
+                verify_against_sg(&c.sg, &netlist)?;
+            }
+            let synthesis = Synthesis {
+                stg: c.stg,
+                sg: c.sg,
+                netlist,
+                inserted: c.inserted,
+                moves: c.moves,
+                expansion: c.choices,
+            };
+            // Only a pending selection needs the timed cycle; score it
+            // under the same delay model the reduce stage optimized.
+            let cycle_bits = if selecting {
+                let delays = DelayModel::uniform(&synthesis.stg, input_delay, gate_delay);
+                let run = simulate(&synthesis.stg, &delays, &SimOptions::default())?;
+                run.period.to_bits()
+            } else {
+                0
+            };
+            Ok((synthesis, cycle_bits))
+        });
+        enforce_live(&outcomes)?;
+
+        // The ranked selection: (state signals inserted, literal
+        // estimate, timed cycle bits, enumeration index), strictly
+        // improving so the earliest candidate wins ties.
+        let mut best: Option<((usize, u32, u64, usize), usize)> = None;
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let Ok((s, cycle_bits)) = outcome else {
+                continue;
+            };
+            let score = (s.inserted.len(), literal_estimate(&s.sg), *cycle_bits, i);
+            if !matches!(best, Some((b, _)) if b <= score) {
+                best = Some((score, i));
+            }
+        }
+        let (_, winner) = best.expect("enforce_live guarantees a live candidate");
+        let ranked = outcomes.iter().filter(|o| o.is_ok()).count();
+        let (synthesis, _) = outcomes
+            .into_iter()
+            .nth(winner)
+            .expect("winner index in range")
+            .expect("winner is live");
+
+        let mut ctx = self.ctx;
+        ctx.diag.record(
+            Stage::Synthesize,
+            t.elapsed(),
+            Some(synthesis.sg.num_states()),
+            Some(ranked),
+            None,
+        );
+        if let Some(cache) = &ctx.cache {
+            cache.insert(key, synthesis.clone());
+        }
+        Ok(Synthesized {
+            synthesis,
+            diag: ctx.diag,
+        })
+    }
+}
+
+// --- Synthesized -----------------------------------------------------
+
+/// The finished pipeline: the winning synthesis and the diagnostics of
+/// the run that produced it.
+#[derive(Debug)]
+pub struct Synthesized {
+    pub(crate) synthesis: Synthesis,
+    pub(crate) diag: Diagnostics,
+}
+
+impl Synthesized {
+    /// The mapped, verified netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.synthesis.netlist
+    }
+
+    /// Every artifact of the winning candidate.
+    pub fn synthesis(&self) -> &Synthesis {
+        &self.synthesis
+    }
+
+    /// What the run recorded about itself: per-stage wall times and
+    /// counters, plus cache activity.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diag
+    }
+
+    /// Consumes the stage, returning the synthesis.
+    pub fn into_synthesis(self) -> Synthesis {
+        self.synthesis
+    }
+
+    /// Consumes the stage, returning synthesis and diagnostics.
+    pub fn into_parts(self) -> (Synthesis, Diagnostics) {
+        (self.synthesis, self.diag)
+    }
+}

@@ -125,6 +125,40 @@ impl Default for ExpansionOptions {
     }
 }
 
+/// Counters from one enumeration of the reshuffling lattice — what the
+/// facade's per-stage diagnostics report for the expansion stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpansionStats {
+    /// Lattice points considered (cut short by the enumeration budget).
+    pub points: usize,
+    /// Points pruned because serialization lost 1-safety, liveness or
+    /// speed independence.
+    pub infeasible: usize,
+    /// Points collapsed because their implied state graph was already
+    /// realized by an earlier point.
+    pub deduped_graphs: usize,
+    /// Points dropped as mirror images of an earlier point under a
+    /// signal automorphism (symmetric channels).
+    pub deduped_symmetry: usize,
+}
+
+impl ExpansionStats {
+    /// Total points discarded by pruning and deduplication.
+    pub fn pruned(&self) -> usize {
+        self.infeasible + self.deduped_graphs + self.deduped_symmetry
+    }
+}
+
+/// The result of [`expand_handshakes_stats`]: the surviving
+/// reshufflings together with the enumeration counters.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// Surviving reshufflings, eager extreme first, lazy extreme last.
+    pub reshufflings: Vec<Reshuffling>,
+    /// What the enumeration considered and discarded.
+    pub stats: ExpansionStats,
+}
+
 /// One complete refinement of a partial specification.
 #[derive(Debug, Clone)]
 pub struct Reshuffling {
@@ -182,6 +216,17 @@ pub struct Reshuffling {
 /// * [`HandshakeError::NoFeasibleReshuffling`] if pruning rejects every
 ///   lattice point.
 pub fn expand_handshakes(stg: &Stg, opts: &ExpansionOptions) -> Result<Vec<Reshuffling>> {
+    expand_handshakes_stats(stg, opts).map(|e| e.reshufflings)
+}
+
+/// [`expand_handshakes`], also reporting the enumeration counters
+/// (points considered, infeasible prunes, graph and symmetry dedups)
+/// that the facade surfaces as expansion-stage diagnostics.
+///
+/// # Errors
+///
+/// See [`expand_handshakes`].
+pub fn expand_handshakes_stats(stg: &Stg, opts: &ExpansionOptions) -> Result<Expansion> {
     if !stg.is_partial() {
         return Err(HandshakeError::NotPartial);
     }
@@ -190,6 +235,7 @@ pub fn expand_handshakes(stg: &Stg, opts: &ExpansionOptions) -> Result<Vec<Reshu
     let points = lattice::enumerate_points(&anchors);
     let autos = signal_automorphisms(&base.stg);
 
+    let mut stats = ExpansionStats::default();
     let mut out: Vec<Reshuffling> = Vec::new();
     let mut seen_graphs: HashSet<u64> = HashSet::new();
     let mut seen_keys: HashSet<String> = HashSet::new();
@@ -197,14 +243,18 @@ pub fn expand_handshakes(stg: &Stg, opts: &ExpansionOptions) -> Result<Vec<Reshu
         if out.len() >= opts.max_reshufflings {
             break;
         }
+        stats.points += 1;
         let constraints = point.constraints(&base.rtz, &anchors);
         let Some(r) = prune::realize(&base, &constraints) else {
+            stats.infeasible += 1;
             continue;
         };
         if !seen_graphs.insert(r.sg.fingerprint()) {
+            stats.deduped_graphs += 1;
             continue; // implied orderings: same graph as an earlier point
         }
         if !seen_keys.insert(prune::canonical_choice_key(&base.stg, &constraints, &autos)) {
+            stats.deduped_symmetry += 1;
             continue; // mirror image of an earlier point
         }
         out.push(r);
@@ -214,7 +264,10 @@ pub fn expand_handshakes(stg: &Stg, opts: &ExpansionOptions) -> Result<Vec<Reshu
     }
     // Present eager -> lazy: fewer ordering commitments first.
     out.sort_by(|a, b| (a.choices.len(), &a.choices).cmp(&(b.choices.len(), &b.choices)));
-    Ok(out)
+    Ok(Expansion {
+        reshufflings: out,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -284,6 +337,32 @@ mod tests {
             rs.iter().any(|r| !touches(r, "r") && !touches(r, "a")),
             "lazy extreme missing"
         );
+    }
+
+    #[test]
+    fn stats_account_for_every_point() {
+        let stg = parse_g(PULSE_G).unwrap();
+        let e = expand_handshakes_stats(&stg, &ExpansionOptions::default()).unwrap();
+        // Every considered point is either kept or counted in exactly
+        // one discard bucket.
+        assert_eq!(
+            e.stats.points,
+            e.reshufflings.len() + e.stats.pruned(),
+            "{:?}",
+            e.stats
+        );
+        assert!(e.stats.points >= 2, "degenerate lattice");
+        // The symmetric two-channel spec exercises the symmetry bucket.
+        let sym = parse_g(SYMMETRIC_G).unwrap();
+        let e = expand_handshakes_stats(
+            &sym,
+            &ExpansionOptions {
+                max_reshufflings: 256,
+            },
+        )
+        .unwrap();
+        assert!(e.stats.deduped_symmetry > 0, "{:?}", e.stats);
+        assert_eq!(e.stats.points, e.reshufflings.len() + e.stats.pruned());
     }
 
     #[test]

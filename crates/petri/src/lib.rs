@@ -13,7 +13,9 @@
 //! * astg (`.g`) [parsing](parse_g) and [writing](write_g), plus
 //!   Graphviz [dot export](write_dot);
 //! * [structural transformations](structural) used by handshake
-//!   expansion and concurrency reduction.
+//!   expansion and concurrency reduction;
+//! * [`canonical_fingerprint`] — declaration-order-invariant hashing of
+//!   STGs, the key of the facade's synthesis cache.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fingerprint;
 mod ids;
 mod marking;
 mod net;
@@ -44,6 +47,7 @@ pub mod structural;
 mod write;
 
 pub use error::{PetriError, Result};
+pub use fingerprint::canonical_fingerprint;
 pub use ids::{PlaceId, SignalId, TransitionId};
 pub use marking::Marking;
 pub use net::PetriNet;

@@ -137,10 +137,8 @@ pub struct Reduction {
     pub stg: Stg,
     /// Its state graph, re-derived incrementally move by move.
     pub sg: StateGraph,
-    /// Serializing moves applied, in order, as `from -> to` strings.
-    pub moves: Vec<String>,
-    /// The winning path move by move, with per-move statistics
-    /// (parallel to `moves`).
+    /// The winning path: every serializing move applied, in order, with
+    /// its label and the statistics of the specification after it.
     pub steps: Vec<MoveStep>,
     /// Literal estimate of the reduced specification.
     pub literals: u32,
@@ -154,6 +152,17 @@ pub struct Reduction {
     /// also a candidate with a lexicographically smaller label. Mirrors
     /// score identically, so re-scoring them only burns search budget.
     pub pruned: usize,
+    /// Best-first nodes expanded before the search stopped.
+    pub expansions: usize,
+    /// Candidate moves scored (state graph re-derived and evaluated).
+    pub scored: usize,
+}
+
+impl Reduction {
+    /// The labels of the applied moves, in order (`from -> to` strings).
+    pub fn move_labels(&self) -> impl Iterator<Item = &str> {
+        self.steps.iter().map(|s| s.label.as_str())
+    }
 }
 
 /// Search priority: (CSC conflicts, literals, cycle-time bits, moves).
@@ -212,7 +221,7 @@ impl Node {
 ///      .marking { <Req+,Ack+> <Ack-,Ack+> }\n.end\n",
 /// )?;
 /// let red = reduce_concurrency(&stg, &ReduceOptions::default())?;
-/// assert_eq!(red.moves, vec!["Ack- -> Req+".to_string()]);
+/// assert_eq!(red.move_labels().collect::<Vec<_>>(), ["Ack- -> Req+"]);
 /// assert_eq!(red.sg.num_states(), 4);
 /// assert_eq!(red.csc_conflicts, 0);
 /// assert_eq!(red.literals, 1);
@@ -274,6 +283,7 @@ pub fn reduce_concurrency_from(
 
     let mut expansions = 0usize;
     let mut pruned_total = 0usize;
+    let mut scored = 0usize;
     while let Some(Reverse((_, id))) = heap.pop() {
         if expansions >= opts.max_expansions {
             break;
@@ -288,6 +298,7 @@ pub fn reduce_concurrency_from(
             if !visited.insert(sg2.fingerprint()) {
                 continue;
             }
+            scored += 1;
             let Ok((conflicts, literals, cycle)) = evaluate(&stg2, &sg2, opts) else {
                 continue; // e.g. the move deadlocks the timed simulation
             };
@@ -338,12 +349,13 @@ pub fn reduce_concurrency_from(
     Ok(Reduction {
         stg: n.stg,
         sg: n.sg,
-        moves: n.moves,
         steps,
         literals: n.literals,
         cycle: n.cycle,
         csc_conflicts: n.conflicts,
         pruned: pruned_total,
+        expansions,
+        scored,
     })
 }
 
@@ -484,7 +496,7 @@ b- a+
     fn mfig1_conflict_dissolved_without_state_signals() {
         let stg = parse_g(MFIG1).unwrap();
         let red = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap();
-        assert_eq!(red.moves.len(), 1);
+        assert_eq!(red.steps.len(), 1);
         assert_eq!(red.csc_conflicts, 0);
         assert_eq!(red.sg.num_states(), 4);
         // The reduced STG rebuilds to the incrementally-derived graph.
@@ -502,6 +514,9 @@ b- a+
             }]
         );
         assert_eq!(red.pruned, 0);
+        // The search did real work and reported it.
+        assert!(red.expansions > 0);
+        assert!(red.scored > 0);
     }
 
     /// Fork/join with two symmetric request/ack branches: every move on
@@ -535,17 +550,16 @@ a2- go+
         assert!(red.pruned > 0, "no mirrors pruned");
         // Pruning must not change the outcome quality: the winner's
         // moves all live on the lexicographically-least branch.
-        for m in &red.moves {
+        for m in red.move_labels() {
             assert!(!m.starts_with("a2") && !m.starts_with("r2"), "{m}");
         }
-        assert_eq!(red.steps.len(), red.moves.len());
     }
 
     #[test]
     fn sequential_spec_reduces_to_itself() {
         let stg = parse_g(TOGGLE).unwrap();
         let red = reduce_concurrency(&stg, &ReduceOptions::default()).unwrap();
-        assert!(red.moves.is_empty());
+        assert!(red.steps.is_empty());
         assert_eq!(red.sg.num_states(), 4);
         assert_eq!(red.cycle, 6.0);
     }
@@ -573,7 +587,7 @@ a2- go+
             ..Default::default()
         };
         let red = reduce_concurrency(&stg, &opts).unwrap();
-        assert!(red.moves.is_empty());
+        assert!(red.steps.is_empty());
         assert_eq!(red.csc_conflicts, 1);
         assert_eq!(red.cycle, 5.0);
     }
@@ -586,7 +600,7 @@ a2- go+
             ..Default::default()
         };
         let red = reduce_concurrency(&stg, &opts).unwrap();
-        assert!(red.moves.is_empty());
+        assert!(red.steps.is_empty());
         assert_eq!(red.csc_conflicts, 1);
     }
 

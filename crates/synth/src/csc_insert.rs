@@ -27,6 +27,10 @@ pub struct CscResolution {
     pub sg: StateGraph,
     /// Names of the inserted internal signals.
     pub inserted: Vec<String>,
+    /// Feasible insertion candidates evaluated across all rounds — the
+    /// search-effort counter the facade surfaces as resolve-stage
+    /// diagnostics (0 when the input already had CSC).
+    pub tried: usize,
 }
 
 /// Options controlling the insertion search.
@@ -92,12 +96,14 @@ pub fn resolve_csc_analyzed(
     let mut sg = sg;
     let mut conflicts = analysis.num_csc_conflicts();
     let mut inserted: Vec<String> = Vec::new();
+    let mut tried = 0usize;
     loop {
         if conflicts == 0 {
             return Ok(CscResolution {
                 stg: current,
                 sg,
                 inserted,
+                tried,
             });
         }
         if inserted.len() >= opts.max_signals {
@@ -107,7 +113,9 @@ pub fn resolve_csc_analyzed(
             });
         }
         let name = format!("csc{}", inserted.len());
-        match best_insertion(&current, &name, conflicts, opts) {
+        let (best, round_tried) = best_insertion(&current, &name, conflicts, opts);
+        tried += round_tried;
+        match best {
             Some((stg2, sg2, remaining)) => {
                 current = stg2;
                 sg = sg2;
@@ -126,15 +134,17 @@ pub fn resolve_csc_analyzed(
 
 /// Tries every (x, y) insertion pair; returns the best strictly-improving
 /// candidate together with its remaining conflict count (so the caller
-/// never re-analyzes the graph it picked).
+/// never re-analyzes the graph it picked), plus the number of feasible
+/// candidates evaluated this round.
 fn best_insertion(
     stg: &Stg,
     signal_name: &str,
     current_conflicts: usize,
     opts: &CscOptions,
-) -> Option<(Stg, StateGraph, usize)> {
+) -> (Option<(Stg, StateGraph, usize)>, usize) {
     let transitions: Vec<TransitionId> = stg.transitions().collect();
     // Phase 1: collect feasible candidates with their conflict counts.
+    let mut tried = 0usize;
     let mut feasible: Vec<(usize, Stg, StateGraph)> = Vec::new();
     for &tx in &transitions {
         for &ty in &transitions {
@@ -150,6 +160,7 @@ fn best_insertion(
             if !speed_independence(&sg2).is_speed_independent() {
                 continue;
             }
+            tried += 1;
             let c = analyze_csc(&sg2).num_csc_conflicts();
             if c < current_conflicts {
                 feasible.push((c, cand, sg2));
@@ -157,7 +168,7 @@ fn best_insertion(
         }
     }
     if feasible.is_empty() {
-        return None;
+        return (None, tried);
     }
     // Phase 2: among the least-conflict pool, rank by literal estimate.
     feasible.sort_by_key(|(c, _, _)| *c);
@@ -167,9 +178,11 @@ fn best_insertion(
         .filter(|(c, _, _)| *c == best_c)
         .take(opts.rank_pool)
         .collect();
-    pool.into_iter()
+    let best = pool
+        .into_iter()
         .min_by_key(|(_, _, sg2)| literal_estimate(sg2))
-        .map(|(c, stg2, sg2)| (stg2, sg2, c))
+        .map(|(c, stg2, sg2)| (stg2, sg2, c));
+    (best, tried)
 }
 
 /// Builds the candidate STG with `name+` inserted after `tx` and `name-`
@@ -230,6 +243,7 @@ lo- li+
         let res = resolve_csc(&stg, &CscOptions::default()).unwrap();
         assert_eq!(res.inserted.len(), 1);
         assert_eq!(analyze_csc(&res.sg).num_csc_conflicts(), 0);
+        assert!(res.tried > 0, "search effort not reported");
         // The resolved graph must synthesize and verify.
         let imp = synthesize_complex_gates(&res.sg).unwrap();
         verify_against_sg(&res.sg, &imp.netlist).unwrap();
@@ -266,6 +280,7 @@ b- a+
         let res = resolve_csc(&stg, &CscOptions::default()).unwrap();
         assert!(res.inserted.is_empty());
         assert_eq!(res.sg.num_states(), 4);
+        assert_eq!(res.tried, 0, "conflict-free input must not search");
     }
 
     #[test]

@@ -7,15 +7,23 @@
 //! With no argument, runs the built-in xyz example. Partial
 //! specifications (`.handshake` channels, toggle events) are expanded
 //! automatically — the ranked reshuffling selection of Section 3.
+//! `--diag` additionally prints the per-stage wall-time/counter
+//! summary the pipeline recorded about itself.
 
 use std::process::ExitCode;
 
-use reshuffle::ExpansionOptions;
+use reshuffle::{ExpansionOptions, Pipeline};
 use reshuffle_bench::examples::XYZ_G;
 
 fn main() -> ExitCode {
-    let source = match std::env::args().nth(1) {
-        Some(path) => match std::fs::read_to_string(&path) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_diag = args.iter().any(|a| a == "--diag");
+    if let Some(unknown) = args.iter().find(|a| a.starts_with("--") && *a != "--diag") {
+        eprintln!("error: unknown flag `{unknown}` (expected --diag and/or a .g file path)");
+        return ExitCode::FAILURE;
+    }
+    let source = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: cannot read `{path}`: {e}");
@@ -28,8 +36,16 @@ fn main() -> ExitCode {
         expand: Some(ExpansionOptions::default()),
         ..Default::default()
     };
-    match reshuffle::synthesize_with(&source, &opts) {
-        Ok(s) => {
+    let parsed = match Pipeline::from_g(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parsed.run(&opts) {
+        Ok(done) => {
+            let s = done.synthesis();
             if !s.expansion.is_empty() {
                 println!("reshuffling choices: {}", s.expansion.join(", "));
             }
@@ -37,6 +53,9 @@ fn main() -> ExitCode {
                 println!("inserted state signals: {}", s.inserted.join(", "));
             }
             println!("{}", s.netlist.describe());
+            if show_diag {
+                print!("{}", done.diagnostics().summary());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

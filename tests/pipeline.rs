@@ -3,14 +3,15 @@
 //! plus the golden-corpus regression suite that pins literal counts and
 //! signal sets for every example in `reshuffle_bench::examples`.
 
+mod common;
+
 use reshuffle::{
     synthesize, synthesize_with, ExpansionOptions, PipelineError, PipelineOptions, ReduceOptions,
-    Synthesis,
 };
 use reshuffle_bench::examples::{self, XYZ_G};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::{build_state_graph, csc::analyze_csc, props::speed_independence};
-use reshuffle_synth::{derive_all_functions, literal_estimate, verify_against_sg, ConflictPolicy};
+use reshuffle_synth::{derive_all_functions, verify_against_sg, ConflictPolicy};
 use reshuffle_timing::{simulate, DelayModel, SimOptions};
 
 #[test]
@@ -150,40 +151,7 @@ const GOLDEN: &[&str] = &[
     "pcreq    exp+red lits=2 cycle=8.0 signals=[Ack,Go,Req] inserted=[] moves=[Go+ -> Req-,Ack- -> Go-] choices=[]",
 ];
 
-/// Renders one synthesis outcome as a golden line (the expand modes pin
-/// the chosen ordering, literal count and cycle time — the acceptance
-/// artifacts of the Section 3 stage).
-fn golden_line(name: &str, mode: &str, result: &Result<Synthesis, PipelineError>) -> String {
-    match result {
-        Err(e) => format!("{name:<8} {mode:<7} error={e}"),
-        Ok(s) => {
-            let mut signals: Vec<&str> = s
-                .netlist
-                .signals()
-                .iter()
-                .map(|s| s.name.as_str())
-                .collect();
-            signals.sort_unstable();
-            let delays = DelayModel::uniform(&s.stg, 2.0, 1.0);
-            let cycle = simulate(&s.stg, &delays, &SimOptions::default())
-                .map(|r| format!("{:.1}", r.period))
-                .unwrap_or_else(|e| format!("?{e}"));
-            let mut line = format!(
-                "{name:<8} {mode:<7} lits={} cycle={cycle} signals=[{}] inserted=[{}]",
-                literal_estimate(&s.sg),
-                signals.join(","),
-                s.inserted.join(","),
-            );
-            if mode == "reduce" || mode == "exp+red" {
-                line.push_str(&format!(" moves=[{}]", s.moves.join(",")));
-            }
-            if mode == "expand" || mode == "exp+red" {
-                line.push_str(&format!(" choices=[{}]", s.expansion.join(",")));
-            }
-            line
-        }
-    }
-}
+use common::golden_line;
 
 #[test]
 fn golden_corpus() {
