@@ -1,0 +1,62 @@
+//! Parallel reachability: the sharded-frontier state-graph build on
+//! the scaled synthetic corpus (`examples::scaled_pipeline`), 1 thread
+//! vs the machine's available parallelism.
+//!
+//! The top size exceeds 10^5 states, where the build is dominated by
+//! frontier expansion and the sharded workers pay off; the output also
+//! asserts that both thread counts produce fingerprint-identical
+//! graphs (the determinism guarantee the golden corpus relies on).
+//!
+//! The hand-rolled measurement loop (instead of [`reshuffle_bench::report`])
+//! keeps the large builds to a few runs each — calibrating an
+//! iteration count against a second-long build would multiply the
+//! bench's runtime for no extra signal.
+
+use std::time::{Duration, Instant};
+
+use reshuffle_bench::{examples, smoke_mode};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::{build_state_graph_stats, BuildOptions};
+
+/// Builds once at the given thread count, returning (wall, fingerprint,
+/// states).
+fn build_once(stg: &reshuffle_petri::Stg, threads: usize) -> (Duration, u64, usize) {
+    let opts = BuildOptions {
+        threads,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let (sg, stats) = build_state_graph_stats(stg, &opts).unwrap();
+    (t.elapsed(), sg.fingerprint(), stats.states)
+}
+
+/// Best-of-`runs` wall time.
+fn best(stg: &reshuffle_petri::Stg, threads: usize, runs: usize) -> (Duration, u64, usize) {
+    (0..runs)
+        .map(|_| build_once(stg, threads))
+        .min_by_key(|&(wall, _, _)| wall)
+        .expect("at least one run")
+}
+
+fn main() {
+    let (sizes, runs): (&[usize], usize) = if smoke_mode() {
+        (&[4], 1)
+    } else {
+        (&[6, 9, 11], 2)
+    };
+    let auto = reshuffle_petri::sharded::effective_threads(0);
+    println!("par_reach: 1 thread vs {auto} (available parallelism); best of {runs}");
+    for &n in sizes {
+        let stg = parse_g(&examples::scaled_pipeline(n)).unwrap();
+        let (serial, fp1, states) = best(&stg, 1, runs);
+        let (parallel, fp_auto, _) = best(&stg, 0, runs);
+        assert_eq!(
+            fp1, fp_auto,
+            "thread count changed the graph at n={n} — determinism broken"
+        );
+        let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+        println!(
+            "scaled_pipeline({n:>2})  {states:>7} states  t1 {serial:>10.2?}  t{auto} {parallel:>10.2?}  speedup {speedup:>5.2}x",
+        );
+    }
+}

@@ -73,6 +73,7 @@ struct Inner {
     map: HashMap<u64, Synthesis>,
     hits: u64,
     misses: u64,
+    shared_hits: u64,
 }
 
 impl SynthCache {
@@ -89,6 +90,13 @@ impl SynthCache {
     /// Cumulative lookups that missed (and ran the pipeline).
     pub fn misses(&self) -> u64 {
         self.inner.lock().unwrap().misses
+    }
+
+    /// Cumulative *candidate-level* hits: expansion candidates whose
+    /// synthesis was shared from this cache during a partial-spec run
+    /// (counted separately from the whole-run [`SynthCache::hits`]).
+    pub fn shared_hits(&self) -> u64 {
+        self.inner.lock().unwrap().shared_hits
     }
 
     /// Number of cached results.
@@ -119,6 +127,18 @@ impl SynthCache {
                 None
             }
         }
+    }
+
+    /// Looks up a shared candidate synthesis without touching the
+    /// whole-run hit/miss counters (a candidate miss is not a pipeline
+    /// miss — the run itself may still hit or miss on its own key).
+    pub(crate) fn lookup_shared(&self, key: u64) -> Option<Synthesis> {
+        let mut inner = self.inner.lock().unwrap();
+        let found = inner.map.get(&key).cloned();
+        if found.is_some() {
+            inner.shared_hits += 1;
+        }
+        found
     }
 
     /// Stores a finished run under its key.

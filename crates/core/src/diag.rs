@@ -52,6 +52,17 @@ pub struct StageReport {
     /// States of the (primary candidate's) state graph after the stage,
     /// when the stage has one.
     pub states: Option<usize>,
+    /// Arcs of that state graph.
+    pub arcs: Option<usize>,
+    /// Distinct interned markings of that state graph (absent for
+    /// graphs derived without markings, e.g. after a serializing
+    /// rewrite).
+    pub interned_markings: Option<usize>,
+    /// Peak breadth-first frontier of the stage's state-graph build —
+    /// only present when the stage actually explored a net (the
+    /// expansion/completeness gate), not when it transformed an
+    /// existing graph.
+    pub peak_frontier: Option<usize>,
     /// Stage-specific candidate count: reshufflings enumerated
     /// (expand), serializing moves scored (reduce), insertions tried
     /// (resolve), candidates ranked (synthesize).
@@ -72,6 +83,12 @@ pub struct Diagnostics {
     /// Synthesis-cache misses charged to this run (0 or 1; 0 when no
     /// cache was attached).
     pub cache_misses: u64,
+    /// Expansion candidates of this run whose synthesis was served from
+    /// the shared cache (lattice siblings previously synthesized —
+    /// standalone or by another run against the same
+    /// [`SynthCache`](crate::SynthCache)). Always 0 for complete
+    /// specifications.
+    pub shared_candidate_hits: u64,
 }
 
 impl Diagnostics {
@@ -94,6 +111,15 @@ impl Diagnostics {
             if let Some(n) = r.states {
                 let _ = write!(out, "  states {n}");
             }
+            if let Some(n) = r.arcs {
+                let _ = write!(out, "  arcs {n}");
+            }
+            if let Some(n) = r.interned_markings {
+                let _ = write!(out, "  markings {n}");
+            }
+            if let Some(n) = r.peak_frontier {
+                let _ = write!(out, "  frontier {n}");
+            }
             if let Some(n) = r.candidates {
                 let _ = write!(out, "  candidates {n}");
             }
@@ -112,6 +138,18 @@ impl Diagnostics {
                 if self.cache_misses == 1 { "" } else { "es" },
             );
         }
+        if self.shared_candidate_hits > 0 {
+            let _ = writeln!(
+                out,
+                "shared     {} candidate synthesis hit{}",
+                self.shared_candidate_hits,
+                if self.shared_candidate_hits == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+        }
         out
     }
 
@@ -119,17 +157,54 @@ impl Diagnostics {
         &mut self,
         stage: Stage,
         wall: Duration,
-        states: Option<usize>,
+        sg: Option<SgCounts>,
         candidates: Option<usize>,
         pruned: Option<usize>,
     ) {
+        let sg = sg.unwrap_or_default();
         self.stages.push(StageReport {
             stage,
             wall,
-            states,
+            states: sg.states,
+            arcs: sg.arcs,
+            interned_markings: sg.interned_markings,
+            peak_frontier: sg.peak_frontier,
             candidates,
             pruned,
         });
+    }
+}
+
+/// State-graph counters one stage reports: size of the (primary
+/// candidate's) graph after the stage, plus the build's peak frontier
+/// when the stage explored a net.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SgCounts {
+    pub states: Option<usize>,
+    pub arcs: Option<usize>,
+    pub interned_markings: Option<usize>,
+    pub peak_frontier: Option<usize>,
+}
+
+impl SgCounts {
+    /// Counters of an existing graph (no exploration happened).
+    pub fn of(sg: &reshuffle_sg::StateGraph) -> SgCounts {
+        SgCounts {
+            states: Some(sg.num_states()),
+            arcs: Some(sg.num_arcs()),
+            interned_markings: (sg.num_interned_markings() > 0).then(|| sg.num_interned_markings()),
+            peak_frontier: None,
+        }
+    }
+
+    /// Counters of a fresh build, including its peak frontier.
+    pub fn of_build(stats: &reshuffle_sg::BuildStats) -> SgCounts {
+        SgCounts {
+            states: Some(stats.states),
+            arcs: Some(stats.arcs),
+            interned_markings: Some(stats.interned_markings),
+            peak_frontier: Some(stats.peak_frontier),
+        }
     }
 }
 
@@ -144,18 +219,33 @@ mod tests {
         d.record(
             Stage::Expand,
             Duration::from_micros(30),
-            Some(6),
+            Some(SgCounts {
+                states: Some(6),
+                arcs: Some(9),
+                interned_markings: Some(5),
+                peak_frontier: Some(2),
+            }),
             Some(4),
             Some(2),
         );
-        assert_eq!(d.stage(Stage::Expand).unwrap().candidates, Some(4));
+        let expand = d.stage(Stage::Expand).unwrap();
+        assert_eq!(expand.candidates, Some(4));
+        assert_eq!(expand.states, Some(6));
+        assert_eq!(expand.arcs, Some(9));
+        assert_eq!(expand.interned_markings, Some(5));
+        assert_eq!(expand.peak_frontier, Some(2));
         assert!(d.stage(Stage::Reduce).is_none());
         assert_eq!(d.total_wall(), Duration::from_micros(40));
         let s = d.summary();
         assert!(s.contains("expand"), "{s}");
         assert!(s.contains("candidates 4"), "{s}");
+        assert!(s.contains("arcs 9"), "{s}");
+        assert!(s.contains("markings 5"), "{s}");
+        assert!(s.contains("frontier 2"), "{s}");
         assert!(!s.contains("cache"), "{s}");
         d.cache_hits = 1;
         assert!(d.summary().contains("cache      1 hit, 0 misses"));
+        d.shared_candidate_hits = 2;
+        assert!(d.summary().contains("2 candidate synthesis hits"));
     }
 }

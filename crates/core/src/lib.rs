@@ -705,6 +705,60 @@ Go- Req~
     }
 
     #[test]
+    fn expansion_candidates_share_the_cache() {
+        // A lattice sibling synthesized standalone seeds the cache; the
+        // partial-spec selection run then reuses it per candidate
+        // instead of re-deriving from scratch — and stores the
+        // remaining candidates for future runs.
+        let cache = SynthCache::new();
+        let spec = parse_g(PCREQ_G).unwrap();
+        let cands = handshake::expand_handshakes(&spec, &ExpansionOptions::default()).unwrap();
+        let standalone = Pipeline::from_parts(cands[0].stg.clone(), cands[0].sg.clone())
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        assert_eq!(cache.shared_hits(), 0);
+        let entries_before = cache.len();
+
+        let opts = PipelineOptions {
+            expand: Some(ExpansionOptions::default()),
+            ..Default::default()
+        };
+        let done = Pipeline::from_g(PCREQ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        assert!(cache.shared_hits() >= 1, "eager sibling was not shared");
+        assert_eq!(
+            done.diagnostics().shared_candidate_hits,
+            cache.shared_hits(),
+            "per-run counter drifted from the cache's total"
+        );
+        assert!(
+            cache.len() > entries_before,
+            "surviving candidates were not stored for future sharing"
+        );
+        // Sharing must not change the outcome: same winner as an
+        // uncached selection run.
+        let uncached = synthesize_with(PCREQ_G, &opts).unwrap();
+        assert_eq!(
+            done.synthesis().netlist.describe(),
+            uncached.netlist.describe()
+        );
+        assert_eq!(done.synthesis().expansion, uncached.expansion);
+        // The candidate-level entry round-trips as a standalone run:
+        // running the eager extreme again is a whole-run cache hit.
+        let again = Pipeline::from_parts(cands[0].stg.clone(), cands[0].sg.clone())
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        assert_eq!(again.diagnostics().cache_hits, 1);
+        assert_eq!(standalone.netlist().describe(), again.netlist().describe());
+        assert!(again.synthesis().expansion.is_empty());
+    }
+
+    #[test]
     fn staged_chain_hits_the_cache_a_run_filled() {
         // The staged chain accumulates the same key run() precomputes.
         let cache = SynthCache::new();

@@ -23,7 +23,7 @@ use reshuffle_petri::{canonical_fingerprint, parse_g, Stg};
 use reshuffle_reduce::{MoveStep, ReduceOptions};
 use reshuffle_sg::csc::analyze_csc;
 use reshuffle_sg::props::speed_independence;
-use reshuffle_sg::{build_state_graph, StateGraph};
+use reshuffle_sg::{build_state_graph_stats, BuildOptions, StateGraph};
 use reshuffle_synth::{
     literal_estimate, resolve_csc_analyzed, synthesize_complex_gates, synthesize_gc,
     verify_against_sg, CscOptions, Netlist,
@@ -31,7 +31,7 @@ use reshuffle_synth::{
 use reshuffle_timing::{simulate, DelayModel, SimOptions};
 
 use crate::cache::{mix, SynthCache};
-use crate::diag::{Diagnostics, Stage};
+use crate::diag::{Diagnostics, SgCounts, Stage};
 use crate::{ImplStyle, PipelineError, PipelineOptions, Result, Synthesis};
 
 /// Entry points of the stage-typed builder.
@@ -135,10 +135,12 @@ impl Pipeline {
             ctx: Ctx {
                 spec_fp,
                 opts_hash: 0,
+                cand_hash: 0,
                 delays: (2.0, 1.0),
                 selecting: false,
                 diag: Diagnostics::default(),
                 cache: None,
+                cand_cache: None,
             },
         }
     }
@@ -151,6 +153,12 @@ struct Ctx {
     spec_fp: u64,
     /// Hash of the option trail committed so far (cache key half).
     opts_hash: u64,
+    /// The *per-candidate* option trail: the same stages hashed as a
+    /// complete-specification chain would hash them. Mixed with each
+    /// candidate's own fingerprint it reproduces the key a standalone
+    /// run of that candidate uses, so lattice siblings and standalone
+    /// runs share one cache entry per candidate.
+    cand_hash: u64,
     /// (input, gate) delays for the final candidate ranking — set by
     /// the reduce stage, defaulted to the Table 1/2 model otherwise.
     delays: (f64, f64),
@@ -159,6 +167,10 @@ struct Ctx {
     selecting: bool,
     diag: Diagnostics,
     cache: Option<SynthCache>,
+    /// The same cache, kept for *candidate-level* sharing even when
+    /// [`Parsed::run`] has already claimed `cache` for the whole-run
+    /// key (it must not be consulted twice at that level).
+    cand_cache: Option<SynthCache>,
 }
 
 /// One in-flight refinement of the specification.
@@ -166,6 +178,9 @@ struct Ctx {
 struct Candidate {
     stg: Stg,
     sg: StateGraph,
+    /// Canonical fingerprint of the candidate as it entered the chain
+    /// (post-expansion, pre-reduce) — half of its shared cache key.
+    fp: u64,
     choices: Vec<String>,
     moves: Vec<MoveStep>,
     inserted: Vec<String>,
@@ -331,6 +346,7 @@ impl Parsed {
     /// [`Resolved::synthesize`].
     pub fn with_cache(mut self, cache: &SynthCache) -> Parsed {
         self.ctx.cache = Some(cache.clone());
+        self.ctx.cand_cache = Some(cache.clone());
         self
     }
 
@@ -359,20 +375,28 @@ impl Parsed {
         if self.stg.is_partial() {
             return Err(PipelineError::Expand(HandshakeError::NotExpanded));
         }
-        let sg = match self.sg.take() {
-            Some(sg) => sg,
-            None => build_state_graph(&self.stg)?,
+        let (sg, counts) = match self.sg.take() {
+            Some(sg) => {
+                let counts = SgCounts::of(&sg);
+                (sg, counts)
+            }
+            None => {
+                let (sg, stats) = build_state_graph_stats(&self.stg, &BuildOptions::default())?;
+                (sg, SgCounts::of_build(&stats))
+            }
         };
         gate_speed_independence(&sg)?;
-        let states = sg.num_states();
         let mut ctx = self.ctx;
         ctx.selecting = false;
+        ctx.cand_hash = mix_expand(0, None);
         ctx.diag
-            .record(Stage::Expand, t.elapsed(), Some(states), Some(1), Some(0));
+            .record(Stage::Expand, t.elapsed(), Some(counts), Some(1), Some(0));
+        let fp = ctx.spec_fp;
         Ok(Expanded {
             cands: vec![Ok(Candidate {
                 stg: self.stg,
                 sg,
+                fp,
                 choices: Vec::new(),
                 moves: Vec::new(),
                 inserted: Vec::new(),
@@ -409,9 +433,14 @@ impl Parsed {
             .into_iter()
             .map(|r| {
                 gate_speed_independence(&r.sg)?;
+                // The candidate's own canonical fingerprint keys its
+                // shared cache slot — identical to a standalone run of
+                // the same complete STG.
+                let fp = canonical_fingerprint(&r.stg);
                 Ok(Candidate {
                     stg: r.stg,
                     sg: r.sg,
+                    fp,
                     choices: r.choices,
                     moves: Vec::new(),
                     inserted: Vec::new(),
@@ -420,16 +449,18 @@ impl Parsed {
             })
             .collect();
         enforce_live(&cands)?;
-        let states = cands
+        let counts = cands
             .iter()
             .find_map(|c| c.as_ref().ok())
-            .map(|c| c.sg.num_states());
+            .map(|c| SgCounts::of(&c.sg));
         let mut ctx = self.ctx;
         ctx.selecting = true;
+        // Candidates continue as complete specifications from here on.
+        ctx.cand_hash = mix_expand(0, None);
         ctx.diag.record(
             Stage::Expand,
             t.elapsed(),
-            states,
+            counts,
             Some(enumerated),
             Some(pruned),
         );
@@ -531,6 +562,7 @@ impl Expanded {
     /// Skips the opt-in concurrency-reduction stage.
     pub fn skip_reduce(mut self) -> Reduced {
         self.ctx.opts_hash = mix_reduce(self.ctx.opts_hash, None);
+        self.ctx.cand_hash = mix_reduce(self.ctx.cand_hash, None);
         Reduced {
             cands: self.cands,
             ctx: self.ctx,
@@ -549,6 +581,7 @@ impl Expanded {
     pub fn reduce(mut self, opts: &ReduceOptions) -> Result<Reduced> {
         let t = Instant::now();
         self.ctx.opts_hash = mix_reduce(self.ctx.opts_hash, Some(opts));
+        self.ctx.cand_hash = mix_reduce(self.ctx.cand_hash, Some(opts));
         self.ctx.delays = (opts.input_delay, opts.gate_delay);
         let outcomes = stage_map(self.cands, |_, c| {
             let r = reshuffle_reduce::reduce_concurrency_from(&c.stg, c.sg, opts)
@@ -557,6 +590,7 @@ impl Expanded {
                 Candidate {
                     stg: r.stg,
                     sg: r.sg,
+                    fp: c.fp,
                     moves: r.steps,
                     known_conflicts: Some(r.csc_conflicts),
                     choices: c.choices,
@@ -579,14 +613,14 @@ impl Expanded {
                 })
             })
             .collect();
-        let states = cands
+        let counts = cands
             .iter()
             .find_map(|c| c.as_ref().ok())
-            .map(|c| c.sg.num_states());
+            .map(|c| SgCounts::of(&c.sg));
         self.ctx.diag.record(
             Stage::Reduce,
             t.elapsed(),
-            states,
+            counts,
             Some(scored),
             Some(pruned),
         );
@@ -646,6 +680,7 @@ impl Reduced {
     pub fn resolve(mut self, opts: &CscOptions) -> Result<Resolved> {
         let t = Instant::now();
         self.ctx.opts_hash = mix_resolve(self.ctx.opts_hash, opts);
+        self.ctx.cand_hash = mix_resolve(self.ctx.cand_hash, opts);
         let outcomes = stage_map(self.cands, |_, c| {
             if c.known_conflicts == Some(0) {
                 return Ok((c, 0));
@@ -653,6 +688,7 @@ impl Reduced {
             let Candidate {
                 stg,
                 sg,
+                fp,
                 choices,
                 moves,
                 inserted,
@@ -667,6 +703,7 @@ impl Reduced {
                     Candidate {
                         stg,
                         sg,
+                        fp,
                         choices,
                         moves,
                         inserted,
@@ -681,6 +718,7 @@ impl Reduced {
                 Candidate {
                     stg: r.stg,
                     sg: r.sg,
+                    fp,
                     inserted: r.inserted,
                     choices,
                     moves,
@@ -700,13 +738,13 @@ impl Reduced {
                 })
             })
             .collect();
-        let states = cands
+        let counts = cands
             .iter()
             .find_map(|c| c.as_ref().ok())
-            .map(|c| c.sg.num_states());
+            .map(|c| SgCounts::of(&c.sg));
         self.ctx
             .diag
-            .record(Stage::Resolve, t.elapsed(), states, Some(tried), None);
+            .record(Stage::Resolve, t.elapsed(), counts, Some(tried), None);
         Ok(Resolved {
             cands,
             ctx: self.ctx,
@@ -778,6 +816,7 @@ impl Resolved {
     fn finish(mut self, style: ImplStyle, verify: bool) -> Result<Synthesized> {
         let t = Instant::now();
         self.ctx.opts_hash = mix_synthesize(self.ctx.opts_hash, style, verify);
+        self.ctx.cand_hash = mix_synthesize(self.ctx.cand_hash, style, verify);
         let key = mix(self.ctx.spec_fp, "key", &[self.ctx.opts_hash]);
         if let Some(cache) = &self.ctx.cache {
             if let Some(synthesis) = cache.lookup(key) {
@@ -789,7 +828,43 @@ impl Resolved {
         }
         let selecting = self.ctx.selecting;
         let (input_delay, gate_delay) = self.ctx.delays;
+        // With several expansion candidates in flight, each one's
+        // synthesis is shared through the attached cache under the key
+        // a *standalone* run of that candidate would use (candidate
+        // fingerprint x complete-chain trail) — lattice siblings seen
+        // before, in this run or any other against the same cache,
+        // skip their synthesis entirely.
+        let cand_cache = if selecting {
+            self.ctx.cand_cache.clone()
+        } else {
+            None
+        };
+        let cand_hash = self.ctx.cand_hash;
+        let shared_hits = std::sync::atomic::AtomicU64::new(0);
         let outcomes = stage_map(self.cands, |_, c| {
+            let cand_key = mix(c.fp, "key", &[cand_hash]);
+            let cycle_of = |synthesis: &Synthesis| -> Result<u64> {
+                if !selecting {
+                    return Ok(0);
+                }
+                // Only a pending selection needs the timed cycle;
+                // score it under the same delay model the reduce
+                // stage optimized.
+                let delays = DelayModel::uniform(&synthesis.stg, input_delay, gate_delay);
+                let run = simulate(&synthesis.stg, &delays, &SimOptions::default())?;
+                Ok(run.period.to_bits())
+            };
+            if let Some(cache) = &cand_cache {
+                if let Some(mut synthesis) = cache.lookup_shared(cand_key) {
+                    shared_hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    // The cached entry is choice-agnostic (stored as a
+                    // standalone run); re-attach this candidate's
+                    // ordering choices.
+                    synthesis.expansion = c.choices;
+                    let cycle_bits = cycle_of(&synthesis)?;
+                    return Ok((synthesis, cycle_bits));
+                }
+            }
             let netlist = match style {
                 ImplStyle::ComplexGate => synthesize_complex_gates(&c.sg)?.netlist,
                 ImplStyle::GeneralizedC => synthesize_gc(&c.sg)?.netlist,
@@ -805,17 +880,18 @@ impl Resolved {
                 moves: c.moves,
                 expansion: c.choices,
             };
-            // Only a pending selection needs the timed cycle; score it
-            // under the same delay model the reduce stage optimized.
-            let cycle_bits = if selecting {
-                let delays = DelayModel::uniform(&synthesis.stg, input_delay, gate_delay);
-                let run = simulate(&synthesis.stg, &delays, &SimOptions::default())?;
-                run.period.to_bits()
-            } else {
-                0
-            };
+            let cycle_bits = cycle_of(&synthesis)?;
+            if let Some(cache) = &cand_cache {
+                // Store choice-agnostic, exactly as a standalone run of
+                // this candidate would have produced it.
+                let mut stored = synthesis.clone();
+                stored.expansion = Vec::new();
+                cache.insert(cand_key, stored);
+            }
             Ok((synthesis, cycle_bits))
         });
+        self.ctx.diag.shared_candidate_hits +=
+            shared_hits.load(std::sync::atomic::Ordering::Relaxed);
         enforce_live(&outcomes)?;
 
         // The ranked selection: (state signals inserted, literal
@@ -843,7 +919,7 @@ impl Resolved {
         ctx.diag.record(
             Stage::Synthesize,
             t.elapsed(),
-            Some(synthesis.sg.num_states()),
+            Some(SgCounts::of(&synthesis.sg)),
             Some(ranked),
             None,
         );

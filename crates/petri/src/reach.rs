@@ -12,21 +12,28 @@ use crate::error::{PetriError, Result};
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
+use crate::sharded::{self, ExploreOptions};
 
 /// Default cap on explored markings; generous for controller-sized nets.
 pub const DEFAULT_STATE_BUDGET: usize = 1_000_000;
 
 /// The reachability graph of a 1-safe net from a given initial marking.
+///
+/// Nodes are numbered canonically — breadth-first from the initial
+/// marking, arcs in ascending transition order — so the graph is
+/// byte-identical no matter how many threads explored it.
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
     markings: Vec<Marking>,
     /// Outgoing arcs per node: `(fired transition, successor node)`.
     succs: Vec<Vec<(TransitionId, u32)>>,
     index: HashMap<Marking, u32>,
+    peak_frontier: usize,
 }
 
 impl ReachabilityGraph {
-    /// Explores the reachability graph of `net` from `initial`.
+    /// Explores the reachability graph of `net` from `initial` on one
+    /// thread.
     ///
     /// # Errors
     ///
@@ -36,36 +43,54 @@ impl ReachabilityGraph {
     ///   markings are reachable;
     /// * [`PetriError::Structural`] if the net has source transitions.
     pub fn explore(net: &PetriNet, initial: &Marking, budget: usize) -> Result<Self> {
+        Self::explore_threads(net, initial, budget, 1)
+    }
+
+    /// [`ReachabilityGraph::explore`] with a sharded parallel frontier:
+    /// markings are hash-partitioned over [`sharded::NUM_SHARDS`]
+    /// shards processed by up to `threads` workers (`0` = available
+    /// parallelism). The result is canonically numbered and therefore
+    /// identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReachabilityGraph::explore`].
+    pub fn explore_threads(
+        net: &PetriNet,
+        initial: &Marking,
+        budget: usize,
+        threads: usize,
+    ) -> Result<Self> {
         net.check_no_source_transitions()?;
-        let mut g = ReachabilityGraph {
-            markings: vec![initial.clone()],
-            succs: vec![Vec::new()],
-            index: HashMap::new(),
-        };
-        g.index.insert(initial.clone(), 0);
-        let mut work = vec![0u32];
-        while let Some(s) = work.pop() {
-            let m = g.markings[s as usize].clone();
-            for t in m.enabled_transitions(net) {
-                let next = m.fire(net, t)?;
-                let id = match g.index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if g.markings.len() >= budget {
-                            return Err(PetriError::StateBudgetExceeded(budget));
-                        }
-                        let id = g.markings.len() as u32;
-                        g.markings.push(next.clone());
-                        g.succs.push(Vec::new());
-                        g.index.insert(next, id);
-                        work.push(id);
-                        id
-                    }
-                };
-                g.succs[s as usize].push((t, id));
-            }
-        }
-        Ok(g)
+        let explored = sharded::explore(
+            initial.clone(),
+            &ExploreOptions::new(threads, budget),
+            |m: &Marking, out: &mut Vec<(TransitionId, Marking)>| {
+                for t in m.enabled_transitions(net) {
+                    out.push((t, m.fire(net, t)?));
+                }
+                Ok(())
+            },
+            PetriError::StateBudgetExceeded,
+        )?;
+        let index = explored
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i as u32))
+            .collect();
+        Ok(ReachabilityGraph {
+            markings: explored.keys,
+            succs: explored.succs,
+            index,
+            peak_frontier: explored.peak_frontier,
+        })
+    }
+
+    /// Largest breadth-first frontier seen while exploring (a proxy for
+    /// how much parallelism the net exposes).
+    pub fn peak_frontier(&self) -> usize {
+        self.peak_frontier
     }
 
     /// Explores with the [default budget](DEFAULT_STATE_BUDGET).

@@ -16,24 +16,84 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use reshuffle_petri::sharded::{self, ExploreOptions};
 use reshuffle_petri::{Marking, Polarity, ReachabilityGraph, SignalId, Stg};
 
 use crate::error::{Result, SgError};
-use crate::sg::{EventId, EventInfo, State, StateGraph};
+use crate::sg::{EventId, EventInfo, StateGraph};
 
 /// Options for state-graph construction.
+///
+/// # Thread-count independence
+///
+/// The build explores with a sharded parallel frontier and then
+/// renumbers states canonically, so the resulting graph — ids, arcs,
+/// fingerprint, `Debug` output — is **byte-identical for every value
+/// of `threads`**:
+///
+/// ```
+/// use reshuffle_petri::parse_g;
+/// use reshuffle_sg::{build_state_graph_with, BuildOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stg = parse_g(
+///     ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+///      x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+///      .marking { <z-,x+> }\n.end\n",
+/// )?;
+/// let serial = build_state_graph_with(
+///     &stg,
+///     &BuildOptions { threads: 1, ..Default::default() },
+/// )?;
+/// let parallel = build_state_graph_with(
+///     &stg,
+///     &BuildOptions { threads: 8, ..Default::default() },
+/// )?;
+/// assert_eq!(serial.fingerprint(), parallel.fingerprint());
+/// assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct BuildOptions {
     /// Cap on the number of explored states.
     pub state_budget: usize,
+    /// Worker threads for the sharded reachability frontier: `0` (the
+    /// default) resolves to the machine's available parallelism, `1`
+    /// forces a serial build. The default can be pinned globally with
+    /// the `RESHUFFLE_THREADS` environment variable — CI uses that to
+    /// assert thread-count independence of whole reports.
+    pub threads: usize,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
         BuildOptions {
             state_budget: reshuffle_petri::DEFAULT_STATE_BUDGET,
+            threads: std::env::var("RESHUFFLE_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
+}
+
+/// What one state-graph build did, for diagnostics: sizes of the
+/// result plus the exploration's peak frontier (a proxy for exploitable
+/// parallelism) and the worker count actually used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildStats {
+    /// States in the built graph.
+    pub states: usize,
+    /// Arcs in the built graph.
+    pub arcs: usize,
+    /// Distinct interned markings.
+    pub interned_markings: usize,
+    /// Largest breadth-first frontier across the marking and encoding
+    /// explorations.
+    pub peak_frontier: usize,
+    /// Worker threads the build resolved to.
+    pub threads: usize,
 }
 
 /// Builds the state graph of `stg` with default options.
@@ -185,6 +245,14 @@ fn infer_initial_values(stg: &Stg, rg: &ReachabilityGraph) -> Result<Vec<bool>> 
 
 /// Builds the state graph of `stg`.
 ///
+/// The construction runs two sharded parallel breadth-first
+/// explorations ([`reshuffle_petri::sharded`]) — the raw marking graph,
+/// then the *(marking, code)* encoding product — each followed by a
+/// canonical renumbering, so the result is identical for every
+/// [`BuildOptions::threads`] value. The graph is assembled directly
+/// into the compressed CSR layout with markings interned into one
+/// shared arena.
+///
 /// # Errors
 ///
 /// * [`SgError::Petri`] if the net is unsafe, has source transitions or
@@ -192,11 +260,26 @@ fn infer_initial_values(stg: &Stg, rg: &ReachabilityGraph) -> Result<Vec<bool>> 
 /// * [`SgError::TooManySignals`] for more than 64 signals;
 /// * [`SgError::Inconsistent`] if no consistent binary encoding exists.
 pub fn build_state_graph_with(stg: &Stg, opts: &BuildOptions) -> Result<StateGraph> {
+    build_state_graph_stats(stg, opts).map(|(sg, _)| sg)
+}
+
+/// [`build_state_graph_with`], also reporting [`BuildStats`] (state,
+/// arc, interned-marking and peak-frontier counters) for diagnostics.
+///
+/// # Errors
+///
+/// See [`build_state_graph_with`].
+pub fn build_state_graph_stats(stg: &Stg, opts: &BuildOptions) -> Result<(StateGraph, BuildStats)> {
     stg.validate()?;
     if stg.num_signals() > 64 {
         return Err(SgError::TooManySignals(stg.num_signals()));
     }
-    let rg = ReachabilityGraph::explore(stg.net(), &stg.initial_marking(), opts.state_budget)?;
+    let rg = ReachabilityGraph::explore_threads(
+        stg.net(),
+        &stg.initial_marking(),
+        opts.state_budget,
+        opts.threads,
+    )?;
     let initial_values = infer_initial_values(stg, &rg)?;
     let mut code0 = 0u64;
     for (i, &v) in initial_values.iter().enumerate() {
@@ -209,68 +292,52 @@ pub fn build_state_graph_with(stg: &Stg, opts: &BuildOptions) -> Result<StateGra
         .any(|t| matches!(stg.edge_of(t).map(|e| e.polarity), Some(Polarity::Toggle)));
 
     // Explore (marking-node, code) pairs. Markings are referenced by
-    // their node id in the already-explored reachability graph.
-    let mut index: HashMap<(u32, u64), u32> = HashMap::new();
-    let mut nodes: Vec<(u32, u64)> = vec![(0, code0)];
-    let mut succ: Vec<Vec<(EventId, u32)>> = vec![Vec::new()];
-    index.insert((0, code0), 0);
-    let mut work = vec![0u32];
-    while let Some(s) = work.pop() {
-        let (mnode, code) = nodes[s as usize];
-        for &(t, mtgt) in rg.successors(mnode) {
-            let next_code = match stg.edge_of(t) {
-                None => code,
-                Some(edge) => {
-                    let bit = 1u64 << edge.signal.index();
-                    let cur = code & bit != 0;
-                    let ok = match edge.polarity {
-                        Polarity::Rise => !cur,
-                        Polarity::Fall => cur,
-                        Polarity::Toggle => true,
-                    };
-                    if !ok {
-                        return Err(SgError::Inconsistent {
-                            signal: stg.signal(edge.signal).name.clone(),
-                            witness: format!(
-                                "firing {} while {} is already {}",
-                                stg.transition_name(t),
-                                stg.signal(edge.signal).name,
-                                cur as u8
-                            ),
-                        });
+    // their node id in the already-explored reachability graph, so the
+    // frontier keys are plain `(u32, u64)` pairs — no marking clones.
+    let explored = sharded::explore(
+        (0u32, code0),
+        &ExploreOptions::new(opts.threads, opts.state_budget),
+        |&(mnode, code), out: &mut Vec<(EventId, (u32, u64))>| {
+            for &(t, mtgt) in rg.successors(mnode) {
+                let next_code = match stg.edge_of(t) {
+                    None => code,
+                    Some(edge) => {
+                        let bit = 1u64 << edge.signal.index();
+                        let cur = code & bit != 0;
+                        let ok = match edge.polarity {
+                            Polarity::Rise => !cur,
+                            Polarity::Fall => cur,
+                            Polarity::Toggle => true,
+                        };
+                        if !ok {
+                            return Err(SgError::Inconsistent {
+                                signal: stg.signal(edge.signal).name.clone(),
+                                witness: format!(
+                                    "firing {} while {} is already {}",
+                                    stg.transition_name(t),
+                                    stg.signal(edge.signal).name,
+                                    cur as u8
+                                ),
+                            });
+                        }
+                        match edge.polarity {
+                            Polarity::Rise => code | bit,
+                            Polarity::Fall => code & !bit,
+                            Polarity::Toggle => code ^ bit,
+                        }
                     }
-                    match edge.polarity {
-                        Polarity::Rise => code | bit,
-                        Polarity::Fall => code & !bit,
-                        Polarity::Toggle => code ^ bit,
-                    }
-                }
-            };
-            let key = (mtgt, next_code);
-            let id = match index.get(&key) {
-                Some(&id) => id,
-                None => {
-                    if nodes.len() >= opts.state_budget {
-                        return Err(SgError::Petri(
-                            reshuffle_petri::PetriError::StateBudgetExceeded(opts.state_budget),
-                        ));
-                    }
-                    let id = nodes.len() as u32;
-                    nodes.push(key);
-                    succ.push(Vec::new());
-                    index.insert(key, id);
-                    work.push(id);
-                    id
-                }
-            };
-            succ[s as usize].push((EventId(t.0), id));
-        }
-    }
+                };
+                out.push((EventId(t.0), (mtgt, next_code)));
+            }
+            Ok(())
+        },
+        |b| SgError::Petri(reshuffle_petri::PetriError::StateBudgetExceeded(b)),
+    )?;
 
     // Without toggles, a marking reached under two codes is inconsistent.
     if !has_toggle {
         let mut seen: HashMap<u32, u64> = HashMap::new();
-        for &(mnode, code) in &nodes {
+        for &(mnode, code) in &explored.keys {
             if let Some(&other) = seen.get(&mnode) {
                 if other != code {
                     let diff = other ^ code;
@@ -289,7 +356,9 @@ pub fn build_state_graph_with(stg: &Stg, opts: &BuildOptions) -> Result<StateGra
         }
     }
 
-    // Assemble.
+    // Assemble the CSR arrays directly: codes, flat arcs (already in
+    // ascending event order — reachability arcs fire transitions in id
+    // order), and markings interned by reachability node.
     let events: Vec<EventInfo> = stg
         .transitions()
         .map(|t| EventInfo {
@@ -297,27 +366,63 @@ pub fn build_state_graph_with(stg: &Stg, opts: &BuildOptions) -> Result<StateGra
             edge: stg.edge_of(t),
         })
         .collect();
-    let states: Vec<State> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, &(mnode, code))| State {
-            code,
-            succ: succ[i].clone(),
-            marking: Some(rg.marking(mnode).clone()),
-        })
-        .collect();
+    let n = explored.keys.len();
+    let num_arcs = explored.num_arcs();
+    let mut codes = Vec::with_capacity(n);
+    let mut succ_offsets = Vec::with_capacity(n + 1);
+    let mut arc_events = Vec::with_capacity(num_arcs);
+    let mut arc_targets = Vec::with_capacity(num_arcs);
+    let mut marking_ids = Vec::with_capacity(n);
+    let mut markings: Vec<Marking> = Vec::new();
+    let mut intern: HashMap<u32, u32> = HashMap::new();
+    succ_offsets.push(0);
+    for (i, &(mnode, code)) in explored.keys.iter().enumerate() {
+        codes.push(code);
+        for &(e, t) in &explored.succs[i] {
+            arc_events.push(e);
+            arc_targets.push(t);
+        }
+        succ_offsets.push(arc_events.len() as u32);
+        let mid = *intern.entry(mnode).or_insert_with(|| {
+            markings.push(rg.marking(mnode).clone());
+            (markings.len() - 1) as u32
+        });
+        marking_ids.push(mid);
+    }
     let signals = (0..stg.num_signals())
         .map(|i| stg.signal(SignalId::from_index(i)).clone())
         .collect();
-    StateGraph::from_parts(stg.name.clone(), signals, events, states, 0)
+    let stats = BuildStats {
+        states: n,
+        arcs: num_arcs,
+        interned_markings: markings.len(),
+        peak_frontier: rg.peak_frontier().max(explored.peak_frontier),
+        threads: sharded::effective_threads(opts.threads),
+    };
+    let sg = StateGraph::from_csr(
+        stg.name.clone(),
+        signals,
+        events,
+        codes,
+        succ_offsets,
+        arc_events,
+        arc_targets,
+        marking_ids,
+        markings,
+        0,
+    )?;
+    Ok((sg, stats))
 }
 
 /// The markings of a built state graph, in state order (present when the
 /// graph came from an STG).
+#[deprecated(
+    since = "0.1.0",
+    note = "clones every per-state marking; read the interned arena via \
+            `StateGraph::marking_of` / `StateGraph::interned_markings` instead"
+)]
 pub fn state_markings(sg: &StateGraph) -> Vec<Option<Marking>> {
-    sg.state_ids()
-        .map(|s| sg.state(s).marking.clone())
-        .collect()
+    sg.state_ids().map(|s| sg.marking_of(s).cloned()).collect()
 }
 
 /// Re-derives event labels of an [`Stg`] for a state graph built from it
@@ -448,7 +553,7 @@ b~ a~
         let stg = parse_g(FIG1).unwrap();
         let sg = build_state_graph(&stg).unwrap();
         for s in sg.state_ids() {
-            for &(e, t) in sg.succ(s) {
+            for (e, t) in sg.succ(s) {
                 let diff = sg.code(s) ^ sg.code(t);
                 if sg.event(e).edge.is_some() {
                     assert_eq!(diff.count_ones(), 1);
@@ -462,7 +567,14 @@ b~ a~
     #[test]
     fn budget_respected() {
         let stg = parse_g(FIG1).unwrap();
-        let e = build_state_graph_with(&stg, &BuildOptions { state_budget: 2 }).unwrap_err();
+        let e = build_state_graph_with(
+            &stg,
+            &BuildOptions {
+                state_budget: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert!(matches!(e, SgError::Petri(_)));
     }
 

@@ -23,7 +23,7 @@ pub fn write_dot(sg: &StateGraph) -> String {
         );
     }
     for s in sg.state_ids() {
-        for &(e, t) in sg.succ(s) {
+        for (e, t) in sg.succ(s) {
             let _ = writeln!(out, "  s{s} -> s{t} [label=\"{}\"];", sg.event(e).label);
         }
     }

@@ -39,8 +39,9 @@ pub fn excitation_regions(sg: &StateGraph, edge: SignalEdge) -> Vec<BTreeSet<Sta
             region.insert(s);
             let neighbors = sg
                 .succ(s)
+                .targets()
                 .iter()
-                .map(|&(_, t)| t)
+                .copied()
                 .chain(pred[s as usize].iter().map(|&(_, t)| t));
             for t in neighbors {
                 if set.contains(&t) && seen.insert(t) {

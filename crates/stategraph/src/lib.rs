@@ -47,8 +47,11 @@ pub mod props;
 pub mod restrict;
 mod sg;
 
+#[allow(deprecated)]
+pub use build::state_markings;
 pub use build::{
-    build_state_graph, build_state_graph_with, event_label_map, state_markings, BuildOptions,
+    build_state_graph, build_state_graph_stats, build_state_graph_with, event_label_map,
+    BuildOptions, BuildStats,
 };
 pub use error::{Result, SgError};
-pub use sg::{EventId, EventInfo, State, StateGraph, StateId};
+pub use sg::{Arcs, ArcsIter, EventId, EventInfo, MarkingId, State, StateGraph, StateId};

@@ -50,8 +50,10 @@ pub fn nondeterminism_witnesses(sg: &StateGraph) -> Vec<NondeterminismWitness> {
     let mut out = Vec::new();
     for s in sg.state_ids() {
         let succ = sg.succ(s);
-        for (i, &(e1, t1)) in succ.iter().enumerate() {
-            for &(e2, t2) in &succ[i + 1..] {
+        for i in 0..succ.len() {
+            let (e1, t1) = succ.get(i);
+            for j in i + 1..succ.len() {
+                let (e2, t2) = succ.get(j);
                 let (Some(a), Some(b)) = (sg.event(e1).edge, sg.event(e2).edge) else {
                     continue;
                 };
@@ -106,7 +108,7 @@ pub fn persistency_witnesses(sg: &StateGraph) -> Vec<PersistencyWitness> {
     let mut out = Vec::new();
     for s in sg.state_ids() {
         let edges = sg.enabled_edges(s);
-        for &(ev, t) in sg.succ(s) {
+        for (ev, t) in sg.succ(s) {
             let Some(fired) = sg.event(ev).edge else {
                 continue;
             };
@@ -167,7 +169,7 @@ pub fn speed_independence(sg: &StateGraph) -> SpeedIndependenceReport {
 pub fn all_events_fire(sg: &StateGraph) -> bool {
     let mut fired = vec![false; sg.num_events()];
     for s in sg.state_ids() {
-        for &(e, _) in sg.succ(s) {
+        for &e in sg.succ(s).events() {
             fired[e.index()] = true;
         }
     }

@@ -49,7 +49,7 @@ pub fn restrict_with_place(
     let mut work = vec![0 as StateId];
     while let Some(s) = work.pop() {
         let (orig, tok) = nodes[s as usize];
-        for &(e, t) in sg.succ(orig) {
+        for (e, t) in sg.succ(orig) {
             let consumes = consumers.contains(&e);
             if consumes && !tok {
                 continue; // the serialization: `e` must wait for a token

@@ -45,7 +45,7 @@ fn assert_traces_subset(name: &str, original: &StateGraph, reduced: &StateGraph)
             if succ.is_empty() {
                 break; // corpus specs are live; defensive only
             }
-            let (event, red_next) = succ[(rng.next() % succ.len() as u64) as usize];
+            let (event, red_next) = succ.get((rng.next() % succ.len() as u64) as usize);
             red_state = red_next;
             orig_state = original.step(orig_state, event).unwrap_or_else(|| {
                 panic!(
