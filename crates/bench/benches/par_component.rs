@@ -29,10 +29,7 @@ fn main() {
 
     // The reduce stage dominates this workload; measure it through the
     // builder so the per-stage diagnostics overhead is in the loop.
-    let reduce_opts = PipelineOptions {
-        reduce: Some(ReduceOptions::default()),
-        ..Default::default()
-    };
+    let reduce_opts = PipelineOptions::new().with_reduce(ReduceOptions::default());
     report("par/synthesize_reduced", &opts, || {
         Pipeline::from_g(examples::PAR_G)
             .unwrap()

@@ -213,17 +213,12 @@ fn collect_row(
         let eager = extreme(&cands[0]).ok();
         let lazy = extreme(cands.last().unwrap()).ok();
         // The ranked selection, and its reduce composition.
-        let expand_opts = PipelineOptions {
-            expand: Some(eopts.clone()),
-            ..Default::default()
-        };
+        let expand_opts = PipelineOptions::new().with_expand(eopts.clone());
         let selected_synth = run_cached(&spec, None, &expand_opts, cache, replay)?;
         let selected = path_of(&selected_synth, ropts)?;
-        let composed_opts = PipelineOptions {
-            expand: Some(eopts.clone()),
-            reduce: Some(ropts.clone()),
-            ..Default::default()
-        };
+        let composed_opts = PipelineOptions::new()
+            .with_expand(eopts.clone())
+            .with_reduce(ropts.clone());
         let composed_synth = run_cached(&spec, None, &composed_opts, cache, replay)?;
         let composed = path_of(&composed_synth, ropts)?;
         // Deltas start from the winning candidate's own (pre-reduction)
@@ -261,10 +256,7 @@ fn collect_row(
     )
     .and_then(|s| path_of(&s, ropts))
     .ok();
-    let reduced_opts = PipelineOptions {
-        reduce: Some(ropts.clone()),
-        ..Default::default()
-    };
+    let reduced_opts = PipelineOptions::new().with_reduce(ropts.clone());
     let reduced_synth = run_cached(&spec, Some(&spec_sg), &reduced_opts, cache, replay)?;
     let reduced = path_of(&reduced_synth, ropts)?;
     let moves_body = if !with_move_bodies || reduced_synth.moves.is_empty() {

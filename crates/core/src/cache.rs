@@ -9,11 +9,19 @@
 //! [`reshuffle_petri::canonical_fingerprint`] (declaration-order
 //! invariant); the option half is accumulated hash-by-hash as the
 //! staged builder commits each stage's options, so a [`run`] shortcut
-//! and the equivalent manual stage chain produce the same key.
+//! and the equivalent manual stage chain produce the same key. The
+//! key a `run` will use is exposed as
+//! [`run_cache_key`](crate::run_cache_key) for callers (like the
+//! `reshuffle-server` single-flight registry) that deduplicate work
+//! *before* starting a pipeline.
 //!
 //! The handle is cheaply cloneable and thread-safe; hit/miss totals
 //! are cumulative over the cache's lifetime, while per-run counts are
-//! surfaced on [`Diagnostics`](crate::Diagnostics).
+//! surfaced on [`Diagnostics`](crate::Diagnostics). A cache built
+//! [`with_capacity`](SynthCache::with_capacity) evicts its least
+//! recently used entry when full; caches persist across processes via
+//! [`save_to`](SynthCache::save_to) / [`load_from`](SynthCache::load_from)
+//! and a [`CacheStore`](crate::CacheStore).
 //!
 //! [`run`]: crate::Parsed::run
 
@@ -68,18 +76,87 @@ pub struct SynthCache {
     inner: Arc<Mutex<Inner>>,
 }
 
+/// One cached run plus its last-used tick (the LRU recency stamp).
+#[derive(Debug)]
+struct Entry {
+    synthesis: Synthesis,
+    tick: u64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<u64, Synthesis>,
+    map: HashMap<u64, Entry>,
+    /// Monotonic recency clock: bumped on every lookup hit and insert.
+    tick: u64,
+    /// `None` = unbounded; `Some(n)` evicts least-recently-used past n.
+    capacity: Option<usize>,
     hits: u64,
     misses: u64,
     shared_hits: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts least-recently-used entries until the capacity holds.
+    fn evict_to_capacity(&mut self) {
+        let Some(cap) = self.capacity else {
+            return;
+        };
+        while self.map.len() > cap {
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k)
+                .expect("map is non-empty while over capacity");
+            self.map.remove(&coldest);
+            self.evictions += 1;
+        }
+    }
 }
 
 impl SynthCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> SynthCache {
         SynthCache::default()
+    }
+
+    /// Creates an empty cache that holds at most `capacity` entries,
+    /// evicting the least recently used entry when an insert would
+    /// exceed it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (use [`SynthCache::new`] for an
+    /// unbounded cache).
+    pub fn with_capacity(capacity: usize) -> SynthCache {
+        let cache = SynthCache::new();
+        cache.set_capacity(Some(capacity));
+        cache
+    }
+
+    /// Changes the entry bound: `None` is unbounded, `Some(n)` evicts
+    /// down to the `n` most recently used entries immediately and on
+    /// every future insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        assert!(capacity != Some(0), "cache capacity must be at least 1");
+        let mut inner = self.inner.lock().unwrap();
+        inner.capacity = capacity;
+        inner.evict_to_capacity();
+    }
+
+    /// The current entry bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().unwrap().capacity
     }
 
     /// Cumulative lookups answered from the cache.
@@ -97,6 +174,11 @@ impl SynthCache {
     /// (counted separately from the whole-run [`SynthCache::hits`]).
     pub fn shared_hits(&self) -> u64 {
         self.inner.lock().unwrap().shared_hits
+    }
+
+    /// Cumulative entries evicted by the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
     }
 
     /// Number of cached results.
@@ -117,8 +199,11 @@ impl SynthCache {
     /// Looks up a finished run, counting a hit or a miss.
     pub(crate) fn lookup(&self, key: u64) -> Option<Synthesis> {
         let mut inner = self.inner.lock().unwrap();
-        match inner.map.get(&key).cloned() {
-            Some(s) => {
+        let tick = inner.next_tick();
+        match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.tick = tick;
+                let s = e.synthesis.clone();
                 inner.hits += 1;
                 Some(s)
             }
@@ -134,16 +219,71 @@ impl SynthCache {
     /// miss — the run itself may still hit or miss on its own key).
     pub(crate) fn lookup_shared(&self, key: u64) -> Option<Synthesis> {
         let mut inner = self.inner.lock().unwrap();
-        let found = inner.map.get(&key).cloned();
-        if found.is_some() {
-            inner.shared_hits += 1;
+        let tick = inner.next_tick();
+        match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.tick = tick;
+                let s = e.synthesis.clone();
+                inner.shared_hits += 1;
+                Some(s)
+            }
+            None => None,
         }
-        found
     }
 
-    /// Stores a finished run under its key.
+    /// Stores a finished run under its key, evicting the least recently
+    /// used entry if the capacity bound would be exceeded.
     pub(crate) fn insert(&self, key: u64, synthesis: Synthesis) {
-        self.inner.lock().unwrap().map.insert(key, synthesis);
+        let mut inner = self.inner.lock().unwrap();
+        let tick = inner.next_tick();
+        inner.map.insert(key, Entry { synthesis, tick });
+        inner.evict_to_capacity();
+    }
+
+    /// Snapshot of every entry as `(key, recency tick, synthesis)`,
+    /// sorted by key — the deterministic order the binary codec writes.
+    pub(crate) fn export_entries(&self) -> Vec<(u64, u64, Synthesis)> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<(u64, u64, Synthesis)> = inner
+            .map
+            .iter()
+            .map(|(&k, e)| (k, e.tick, e.synthesis.clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(k, _, _)| k);
+        out
+    }
+
+    /// Snapshot of the lifetime counters
+    /// `(hits, misses, shared_hits, evictions)`.
+    pub(crate) fn export_counters(&self) -> (u64, u64, u64, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.hits, inner.misses, inner.shared_hits, inner.evictions)
+    }
+
+    /// Rebuilds a cache from decoded entries and counters, restoring
+    /// each entry's recency stamp so the LRU order survives a restart.
+    /// The capacity is *not* part of a snapshot: the holder re-applies
+    /// its own bound via [`SynthCache::set_capacity`].
+    pub(crate) fn import(
+        entries: Vec<(u64, u64, Synthesis)>,
+        counters: (u64, u64, u64, u64),
+    ) -> SynthCache {
+        let tick = entries.iter().map(|&(_, t, _)| t).max().unwrap_or(0);
+        let map = entries
+            .into_iter()
+            .map(|(k, tick, synthesis)| (k, Entry { synthesis, tick }))
+            .collect();
+        SynthCache {
+            inner: Arc::new(Mutex::new(Inner {
+                map,
+                tick,
+                capacity: None,
+                hits: counters.0,
+                misses: counters.1,
+                shared_hits: counters.2,
+                evictions: counters.3,
+            })),
+        }
     }
 }
 
@@ -161,5 +301,11 @@ mod tests {
         // Part boundaries matter: [1,2] vs [12] style collisions are
         // prevented by hashing the slice (length included).
         assert_ne!(mix(0, "t", &[1, 2]), mix(0, "t", &[1, 2, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        SynthCache::with_capacity(0);
     }
 }

@@ -25,20 +25,24 @@
 //! its artifacts, each transition takes that stage's options, a
 //! [`Diagnostics`] record collects per-stage wall times and counters,
 //! and a [`SynthCache`] turns repeated identical runs into O(1)
-//! lookups. The legacy free functions ([`synthesize`],
+//! lookups — and, through a [`CacheStore`], persists them across
+//! processes. The legacy free functions ([`synthesize`],
 //! [`synthesize_with`], [`synthesize_stg`], [`synthesize_stg_from`])
-//! remain as thin wrappers over [`Parsed::run`].
+//! are deprecated thin wrappers over [`Parsed::run`].
 //!
 //! # Example
 //!
 //! ```
+//! use reshuffle::{Pipeline, PipelineOptions};
+//!
 //! // The xyz example: a 3-signal cycle with distinct state codes.
-//! let netlist = reshuffle::synthesize(
+//! let done = Pipeline::from_g(
 //!     ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
 //!      x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
 //!      .marking { <z-,x+> }\n.end\n",
-//! )?;
-//! assert_eq!(netlist.signals().len(), 3);
+//! )?
+//! .run(&PipelineOptions::default())?;
+//! assert_eq!(done.netlist().signals().len(), 3);
 //! # Ok::<(), reshuffle::PipelineError>(())
 //! ```
 //!
@@ -69,6 +73,7 @@ use std::fmt;
 mod cache;
 mod diag;
 mod pipeline;
+mod store;
 
 /// Petri nets, STGs, `.g` parsing ([`reshuffle_petri`]).
 pub use reshuffle_petri as petri;
@@ -100,7 +105,8 @@ pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
 
 pub use cache::SynthCache;
 pub use diag::{Diagnostics, Stage, StageReport};
-pub use pipeline::{Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized};
+pub use pipeline::{run_cache_key, Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized};
+pub use store::{CacheStore, FileStore, MemStore};
 
 /// Errors from the end-to-end pipeline, tagged by the failing stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -207,10 +213,26 @@ pub enum ImplStyle {
     GeneralizedC,
 }
 
-/// The flat option record driving [`Parsed::run`] and the legacy
-/// [`synthesize_with`] wrapper. The staged builder takes the same
-/// options one stage at a time instead.
+/// The whole-run option record driving [`Parsed::run`]: a composition
+/// of the per-stage option structs ([`ExpansionOptions`],
+/// [`ReduceOptions`], [`CscOptions`]) plus the style and verification
+/// switches, so the one-shot run, the staged chain, and the
+/// `reshuffle-server` request schema share one option vocabulary.
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`PipelineOptions::new`] (or `default()`) and the `with_*` setters,
+/// which keeps adding a stage a non-breaking change.
+///
+/// ```
+/// use reshuffle::{ExpansionOptions, PipelineOptions, ReduceOptions};
+///
+/// let opts = PipelineOptions::new()
+///     .with_expand(ExpansionOptions::default())
+///     .with_reduce(ReduceOptions::default());
+/// assert!(opts.expand.is_some() && opts.reduce.is_some());
+/// ```
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct PipelineOptions {
     /// Implementation style (complex gate by default).
     pub style: ImplStyle,
@@ -230,6 +252,44 @@ pub struct PipelineOptions {
     pub csc: CscOptions,
     /// Skip the final implementation-vs-specification check.
     pub skip_verify: bool,
+}
+
+impl PipelineOptions {
+    /// The default pipeline: no expansion, no reduction, default CSC
+    /// search, complex-gate style, verification on.
+    pub fn new() -> PipelineOptions {
+        PipelineOptions::default()
+    }
+
+    /// Selects the implementation style.
+    pub fn with_style(mut self, style: ImplStyle) -> PipelineOptions {
+        self.style = style;
+        self
+    }
+
+    /// Enables the handshake-expansion stage with `opts`.
+    pub fn with_expand(mut self, opts: ExpansionOptions) -> PipelineOptions {
+        self.expand = Some(opts);
+        self
+    }
+
+    /// Enables the concurrency-reduction stage with `opts`.
+    pub fn with_reduce(mut self, opts: ReduceOptions) -> PipelineOptions {
+        self.reduce = Some(opts);
+        self
+    }
+
+    /// Replaces the CSC-resolution search parameters.
+    pub fn with_csc(mut self, opts: CscOptions) -> PipelineOptions {
+        self.csc = opts;
+        self
+    }
+
+    /// Skips (or re-enables) the final verification check.
+    pub fn with_skip_verify(mut self, skip: bool) -> PipelineOptions {
+        self.skip_verify = skip;
+        self
+    }
 }
 
 /// Everything the pipeline produced, for callers that want more than
@@ -273,7 +333,9 @@ impl Synthesis {
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
+#[deprecated(since = "0.1.0", note = "use Pipeline")]
 pub fn synthesize(g_source: &str) -> Result<Netlist> {
+    #[allow(deprecated)]
     synthesize_with(g_source, &PipelineOptions::default()).map(|s| s.netlist)
 }
 
@@ -286,6 +348,7 @@ pub fn synthesize(g_source: &str) -> Result<Netlist> {
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
+#[deprecated(since = "0.1.0", note = "use Pipeline")]
 pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthesis> {
     Pipeline::from_g(g_source)?
         .run(opts)
@@ -305,6 +368,7 @@ pub fn synthesize_with(g_source: &str, opts: &PipelineOptions) -> Result<Synthes
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
+#[deprecated(since = "0.1.0", note = "use Pipeline")]
 pub fn synthesize_stg(spec: &Stg, opts: &PipelineOptions) -> Result<Synthesis> {
     Pipeline::from_stg(spec)
         .run(opts)
@@ -322,6 +386,7 @@ pub fn synthesize_stg(spec: &Stg, opts: &PipelineOptions) -> Result<Synthesis> {
 /// # Errors
 ///
 /// Any stage failure, tagged by [`PipelineError`] variant.
+#[deprecated(since = "0.1.0", note = "use Pipeline")]
 pub fn synthesize_stg_from(
     spec: &Stg,
     sg0: StateGraph,
@@ -342,6 +407,7 @@ pub fn synthesize_stg_from(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the suite pins the legacy wrappers' behavior
 mod tests {
     use super::*;
 
@@ -789,5 +855,152 @@ Go- Req~
             done.synthesis().move_labels().collect::<Vec<_>>(),
             ["Ack- -> Req+"]
         );
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = SynthCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let base = PipelineOptions::default();
+        let run = |src: &str, opts: &PipelineOptions| {
+            Pipeline::from_g(src)
+                .unwrap()
+                .with_cache(&cache)
+                .run(opts)
+                .unwrap();
+        };
+        // Three distinct keys into a 2-entry cache: the coldest goes.
+        run(TOGGLE_G, &base);
+        run(XYZ_G, &base);
+        run(TOGGLE_G, &base); // refresh toggle: xyz is now coldest
+        run(MFIG1_G, &base.clone().with_reduce(ReduceOptions::default()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // toggle survived its refresh; xyz was the victim.
+        run(TOGGLE_G, &base);
+        assert_eq!(cache.evictions(), 1, "refreshed entry was evicted");
+        run(XYZ_G, &base);
+        assert_eq!(cache.evictions(), 2, "evicted entry still resident");
+        // Tightening the bound evicts immediately.
+        cache.set_capacity(Some(1));
+        assert_eq!((cache.len(), cache.evictions()), (1, 3));
+    }
+
+    #[test]
+    fn cache_persists_across_a_store_round_trip() {
+        let store = MemStore::new();
+        let opts = PipelineOptions::default();
+        let cache = SynthCache::new();
+        let first = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        cache.save_to(&store).unwrap();
+
+        // A fresh handle loaded from the store hits on the same key.
+        let reloaded = SynthCache::load_from(&store).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.misses(), 1, "counters were not persisted");
+        let replay = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&reloaded)
+            .run(&opts)
+            .unwrap();
+        assert_eq!(replay.diagnostics().cache_hits, 1);
+        assert_eq!(
+            first.netlist().describe(),
+            replay.netlist().describe(),
+            "reloaded synthesis drifted"
+        );
+        // Save → load → save is byte-identical.
+        let bytes = cache.to_bytes();
+        assert_eq!(
+            bytes,
+            SynthCache::from_bytes(&bytes).unwrap().to_bytes(),
+            "codec round-trip not byte-identical"
+        );
+        // An empty store loads as an empty cache; corrupt bytes error.
+        assert!(SynthCache::load_from(&MemStore::new()).unwrap().is_empty());
+        assert!(SynthCache::from_bytes(b"not a snapshot").is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xFF;
+        assert!(SynthCache::from_bytes(&wrong_version).is_err());
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        assert!(SynthCache::from_bytes(&truncated).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(SynthCache::from_bytes(&trailing).is_err());
+    }
+
+    /// Replica of the cache-key option trail. `DefaultHasher` is not
+    /// stable across Rust releases, so the pin replays the *sequence*
+    /// (tags and canonical words, in stage order) rather than
+    /// hard-coding hash values: if a refactor reorders the trail or
+    /// drops a word, this fails while `BENCH_tables.json` keys and
+    /// persisted caches silently move.
+    #[test]
+    fn option_trail_hash_is_pinned() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        fn replay_mix(seed: u64, tag: &str, parts: &[u64]) -> u64 {
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            tag.hash(&mut h);
+            parts.hash(&mut h);
+            h.finish()
+        }
+
+        let spec = parse_g(XYZ_G).unwrap();
+        let fp = canonical_fingerprint(&spec);
+
+        // Default options: complete → skip_reduce → resolve → synthesize.
+        let mut h = 0u64;
+        h = replay_mix(h, "complete", &[]);
+        h = replay_mix(h, "skip_reduce", &[]);
+        h = replay_mix(h, "resolve", &[4, 12]);
+        h = replay_mix(h, "synthesize", &[0, 1]);
+        assert_eq!(
+            run_cache_key(&spec, &PipelineOptions::default()),
+            replay_mix(fp, "key", &[h]),
+            "default option trail drifted"
+        );
+
+        // Both opt-in stages enabled, with their default parameters.
+        let full = PipelineOptions::new()
+            .with_expand(ExpansionOptions::default())
+            .with_reduce(ReduceOptions::default());
+        let mut h = 0u64;
+        h = replay_mix(h, "expand", &[64]);
+        h = replay_mix(
+            h,
+            "reduce",
+            &[0, 0, 16, 128, 2.0f64.to_bits(), 1.0f64.to_bits()],
+        );
+        h = replay_mix(h, "resolve", &[4, 12]);
+        h = replay_mix(h, "synthesize", &[0, 1]);
+        assert_eq!(
+            run_cache_key(&spec, &full),
+            replay_mix(fp, "key", &[h]),
+            "expand+reduce option trail drifted"
+        );
+
+        // Every switch lands in the key.
+        let keys = [
+            run_cache_key(&spec, &PipelineOptions::default()),
+            run_cache_key(&spec, &full),
+            run_cache_key(
+                &spec,
+                &PipelineOptions::new().with_style(ImplStyle::GeneralizedC),
+            ),
+            run_cache_key(&spec, &PipelineOptions::new().with_skip_verify(true)),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "distinct options collided");
+            }
+        }
     }
 }

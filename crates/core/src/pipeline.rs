@@ -314,6 +314,16 @@ fn options_key(spec_fp: u64, opts: &PipelineOptions) -> u64 {
     mix(spec_fp, "key", &[h])
 }
 
+/// The [`SynthCache`](crate::SynthCache) key a [`Parsed::run`] of
+/// `spec` under `opts` will look up and fill:
+/// [`canonical_fingerprint`] of the spec mixed with the full option
+/// trail. Callers that deduplicate work *before* starting a pipeline
+/// (like the `reshuffle-server` single-flight registry) key their
+/// in-flight table with this.
+pub fn run_cache_key(spec: &Stg, opts: &PipelineOptions) -> u64 {
+    options_key(canonical_fingerprint(spec), opts)
+}
+
 // --- Parsed ----------------------------------------------------------
 
 /// A parsed specification: the start of the stage chain.

@@ -1,0 +1,631 @@
+//! Persistent storage for [`SynthCache`]: a compact, versioned binary
+//! codec plus the [`CacheStore`] trait that abstracts *where* the
+//! encoded bytes live.
+//!
+//! The codec is deliberately dependency-free (the build container has
+//! no network, so no serde): little-endian scalars, length-prefixed
+//! strings, and structural records for each cached
+//! [`Synthesis`](crate::Synthesis) — the STG as canonical `.g` text
+//! (the round-trip-pinned writer), the CSR state graph as its raw
+//! parts, and the netlist as its node table. Entries are written
+//! sorted by cache key and carry their LRU recency stamps, so
+//! `save → load → save` is **byte-identical** and the eviction order
+//! survives a process restart.
+//!
+//! The header pins a magic plus a format version; decoding rejects
+//! foreign or future bytes with [`io::ErrorKind::InvalidData`] instead
+//! of misreading them.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use reshuffle_petri::{
+    parse_g, write_g, Marking, PlaceId, Polarity, Signal, SignalEdge, SignalId, SignalKind,
+};
+use reshuffle_reduce::MoveStep;
+use reshuffle_sg::{EventId, EventInfo, State, StateGraph};
+use reshuffle_synth::{GateType, Netlist, Node, NodeId};
+
+use crate::{SynthCache, Synthesis};
+
+/// Magic bytes opening every snapshot: `RSHC` ("reshuffle cache").
+const MAGIC: &[u8; 4] = b"RSHC";
+/// Current snapshot format version.
+const VERSION: u32 = 1;
+
+/// Where encoded [`SynthCache`] snapshots live.
+///
+/// A store holds at most one snapshot: [`CacheStore::write`] replaces
+/// it atomically, [`CacheStore::read`] returns the last one written
+/// (or `None` when nothing was ever saved). The codec itself lives in
+/// [`SynthCache::save_to`] / [`SynthCache::load_from`]; stores only
+/// move opaque bytes, so a new backend (a database blob, an object
+/// store) is one small impl away.
+///
+/// # Worked example
+///
+/// Fill a cache, persist it, and serve a whole run from the reloaded
+/// copy — the O(1) replay a synthesis service does after a restart:
+///
+/// ```
+/// use reshuffle::{CacheStore, MemStore, Pipeline, PipelineOptions, SynthCache};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = ".model xyz\n.inputs x\n.outputs y z\n.graph\n\
+///            x+ y+\ny+ z+\nz+ x-\nx- y-\ny- z-\nz- x+\n\
+///            .marking { <z-,x+> }\n.end\n";
+/// let opts = PipelineOptions::default();
+///
+/// // One real run fills the cache; save the snapshot.
+/// let cache = SynthCache::new();
+/// let first = Pipeline::from_g(src)?.with_cache(&cache).run(&opts)?;
+/// let store = MemStore::new(); // swap in `FileStore` for a real path
+/// cache.save_to(&store)?;
+/// assert!(store.read()?.is_some());
+///
+/// // A fresh process loads the snapshot: the identical key hits.
+/// let reloaded = SynthCache::load_from(&store)?;
+/// assert_eq!(reloaded.len(), 1);
+/// let replay = Pipeline::from_g(src)?.with_cache(&reloaded).run(&opts)?;
+/// assert_eq!(replay.diagnostics().cache_hits, 1);
+/// assert_eq!(
+///     first.netlist().describe(),
+///     replay.netlist().describe(),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub trait CacheStore {
+    /// Persists one encoded snapshot, replacing any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure.
+    fn write(&self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Returns the last persisted snapshot, or `None` when the store
+    /// has never been written (a missing file is not an error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure.
+    fn read(&self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// A [`CacheStore`] backed by one file on disk.
+///
+/// Writes go to a `.tmp` sibling first and are moved into place with
+/// an atomic rename, so a crash mid-save never corrupts the previous
+/// snapshot. A missing file reads as `None`.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// A store persisting to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> FileStore {
+        FileStore { path: path.into() }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CacheStore for FileStore {
+    fn write(&self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &self.path)
+    }
+
+    fn read(&self) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(&self.path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An in-memory [`CacheStore`] for tests and examples.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    slot: Mutex<Option<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl CacheStore for MemStore {
+    fn write(&self, bytes: &[u8]) -> io::Result<()> {
+        *self.slot.lock().unwrap() = Some(bytes.to_vec());
+        Ok(())
+    }
+
+    fn read(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.slot.lock().unwrap().clone())
+    }
+}
+
+impl SynthCache {
+    /// Persists a snapshot of this cache — entries with their LRU
+    /// recency stamps plus the lifetime counters — to `store`.
+    ///
+    /// Entries are written sorted by key, so saving an unchanged cache
+    /// produces byte-identical output (the capacity bound is runtime
+    /// configuration and is *not* part of the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O failure.
+    pub fn save_to(&self, store: &dyn CacheStore) -> io::Result<()> {
+        store.write(&self.to_bytes())
+    }
+
+    /// Loads the cache last saved to `store`; an empty store yields an
+    /// empty cache. The loaded cache is unbounded — re-apply a bound
+    /// with [`SynthCache::set_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// The store's I/O failure, or [`io::ErrorKind::InvalidData`] when
+    /// the bytes are not a valid snapshot (foreign magic, future
+    /// version, or a corrupt record).
+    pub fn load_from(store: &dyn CacheStore) -> io::Result<SynthCache> {
+        match store.read()? {
+            None => Ok(SynthCache::new()),
+            Some(bytes) => SynthCache::from_bytes(&bytes),
+        }
+    }
+
+    /// Encodes the cache into the versioned binary snapshot format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.export_entries();
+        let (hits, misses, shared_hits, evictions) = self.export_counters();
+        let mut w = Writer::default();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.u64(hits);
+        w.u64(misses);
+        w.u64(shared_hits);
+        w.u64(evictions);
+        w.u64(entries.len() as u64);
+        for (key, tick, synthesis) in &entries {
+            w.u64(*key);
+            w.u64(*tick);
+            encode_synthesis(&mut w, synthesis);
+        }
+        w.out
+    }
+
+    /// Decodes a snapshot produced by [`SynthCache::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on any malformed byte.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<SynthCache> {
+        let mut r = Reader { buf: bytes, at: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(bad("not a reshuffle cache snapshot (bad magic)"));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(bad(format!(
+                "unsupported snapshot version {version} (this build reads {VERSION})"
+            )));
+        }
+        let counters = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+        let count = r.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            let key = r.u64()?;
+            let tick = r.u64()?;
+            let synthesis = decode_synthesis(&mut r)?;
+            entries.push((key, tick, synthesis));
+        }
+        if r.at != bytes.len() {
+            return Err(bad("trailing bytes after the last entry"));
+        }
+        Ok(SynthCache::import(entries, counters))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// --- primitive writer/reader ----------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.out.extend_from_slice(b);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+
+    fn strs(&mut self, items: &[String]) {
+        self.u32(items.len() as u32);
+        for s in items {
+            self.str(s);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| bad("truncated snapshot"))?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    fn strs(&mut self) -> io::Result<Vec<String>> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.str()).collect()
+    }
+}
+
+// --- synthesis record -------------------------------------------------
+
+fn encode_synthesis(w: &mut Writer, s: &Synthesis) {
+    // The STG goes through the canonical `.g` writer: the textual
+    // round-trip is already pinned by the petri crate's tests, and the
+    // cache key is stored alongside, so fingerprints are preserved by
+    // construction.
+    w.str(&write_g(&s.stg));
+    encode_sg(w, &s.sg);
+    encode_netlist(w, &s.netlist);
+    w.strs(&s.inserted);
+    w.u32(s.moves.len() as u32);
+    for m in &s.moves {
+        w.str(&m.label);
+        w.u32(m.literals);
+        w.f64(m.cycle);
+        w.u64(m.csc_conflicts as u64);
+    }
+    w.strs(&s.expansion);
+}
+
+fn decode_synthesis(r: &mut Reader) -> io::Result<Synthesis> {
+    let stg = parse_g(&r.str()?).map_err(|e| bad(format!("embedded STG: {e}")))?;
+    let sg = decode_sg(r)?;
+    let netlist = decode_netlist(r)?;
+    let inserted = r.strs()?;
+    let num_moves = r.u32()? as usize;
+    let mut moves = Vec::with_capacity(num_moves);
+    for _ in 0..num_moves {
+        moves.push(MoveStep {
+            label: r.str()?,
+            literals: r.u32()?,
+            cycle: r.f64()?,
+            csc_conflicts: r.u64()? as usize,
+        });
+    }
+    let expansion = r.strs()?;
+    Ok(Synthesis {
+        stg,
+        sg,
+        netlist,
+        inserted,
+        moves,
+        expansion,
+    })
+}
+
+// --- signal tables ----------------------------------------------------
+
+fn encode_signals(w: &mut Writer, signals: &[Signal]) {
+    w.u32(signals.len() as u32);
+    for s in signals {
+        w.str(&s.name);
+        w.u8(match s.kind {
+            SignalKind::Input => 0,
+            SignalKind::Output => 1,
+            SignalKind::Internal => 2,
+        });
+    }
+}
+
+fn decode_signals(r: &mut Reader) -> io::Result<Vec<Signal>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let kind = match r.u8()? {
+            0 => SignalKind::Input,
+            1 => SignalKind::Output,
+            2 => SignalKind::Internal,
+            k => return Err(bad(format!("unknown signal kind tag {k}"))),
+        };
+        out.push(Signal { name, kind });
+    }
+    Ok(out)
+}
+
+// --- state graph ------------------------------------------------------
+
+fn encode_sg(w: &mut Writer, sg: &StateGraph) {
+    w.str(sg.name());
+    encode_signals(w, sg.signals());
+    w.u32(sg.events().len() as u32);
+    for ev in sg.events() {
+        w.str(&ev.label);
+        match ev.edge {
+            None => w.u8(0),
+            Some(edge) => {
+                w.u8(1);
+                w.u32(edge.signal.index() as u32);
+                w.u8(match edge.polarity {
+                    Polarity::Rise => 0,
+                    Polarity::Fall => 1,
+                    Polarity::Toggle => 2,
+                });
+            }
+        }
+    }
+    w.u32(sg.num_states() as u32);
+    for s in sg.state_ids() {
+        w.u64(sg.code(s));
+        let arcs = sg.succ(s);
+        w.u32(arcs.len() as u32);
+        for (e, t) in arcs {
+            w.u32(e.0);
+            w.u32(t);
+        }
+    }
+    let any_marking = sg.num_interned_markings() > 0;
+    w.u8(any_marking as u8);
+    if any_marking {
+        for s in sg.state_ids() {
+            match sg.marking_of(s) {
+                None => w.u8(0),
+                Some(m) => {
+                    w.u8(1);
+                    w.u64(m.num_places() as u64);
+                    let places: Vec<PlaceId> = m.iter().collect();
+                    w.u32(places.len() as u32);
+                    for p in places {
+                        w.u32(p.index() as u32);
+                    }
+                }
+            }
+        }
+    }
+    w.u32(sg.initial());
+}
+
+fn decode_sg(r: &mut Reader) -> io::Result<StateGraph> {
+    let name = r.str()?;
+    let signals = decode_signals(r)?;
+    let num_events = r.u32()? as usize;
+    let mut events = Vec::with_capacity(num_events);
+    for _ in 0..num_events {
+        let label = r.str()?;
+        let edge = match r.u8()? {
+            0 => None,
+            1 => {
+                let signal = SignalId::from_index(r.u32()? as usize);
+                let polarity = match r.u8()? {
+                    0 => Polarity::Rise,
+                    1 => Polarity::Fall,
+                    2 => Polarity::Toggle,
+                    p => return Err(bad(format!("unknown polarity tag {p}"))),
+                };
+                Some(SignalEdge { signal, polarity })
+            }
+            t => return Err(bad(format!("unknown edge tag {t}"))),
+        };
+        events.push(EventInfo { label, edge });
+    }
+    let num_states = r.u32()? as usize;
+    let mut states = Vec::with_capacity(num_states);
+    for _ in 0..num_states {
+        let code = r.u64()?;
+        let num_arcs = r.u32()? as usize;
+        let mut succ = Vec::with_capacity(num_arcs);
+        for _ in 0..num_arcs {
+            succ.push((EventId(r.u32()?), r.u32()?));
+        }
+        states.push(State {
+            code,
+            succ,
+            marking: None,
+        });
+    }
+    if r.u8()? == 1 {
+        for st in &mut states {
+            if r.u8()? == 1 {
+                let num_places = r.u64()? as usize;
+                let num_marked = r.u32()? as usize;
+                let marked: Vec<PlaceId> = (0..num_marked)
+                    .map(|_| r.u32().map(|p| PlaceId::from_index(p as usize)))
+                    .collect::<io::Result<_>>()?;
+                if marked.iter().any(|p| p.index() >= num_places) {
+                    return Err(bad("marked place out of range"));
+                }
+                st.marking = Some(Marking::with_tokens(num_places, &marked));
+            }
+        }
+    }
+    let initial = r.u32()?;
+    StateGraph::from_parts(name, signals, events, states, initial)
+        .map_err(|e| bad(format!("embedded state graph: {e}")))
+}
+
+// --- netlist ----------------------------------------------------------
+
+fn encode_netlist(w: &mut Writer, nl: &Netlist) {
+    encode_signals(w, nl.signals());
+    w.u32(nl.nodes().len() as u32);
+    for node in nl.nodes() {
+        match node {
+            Node::SignalRef(s) => {
+                w.u8(0);
+                w.u32(s.index() as u32);
+            }
+            Node::Const(b) => {
+                w.u8(1);
+                w.u8(*b as u8);
+            }
+            Node::Gate(g, ins) => {
+                w.u8(2);
+                w.u8(match g {
+                    GateType::Inv => 0,
+                    GateType::And2 => 1,
+                    GateType::Or2 => 2,
+                    GateType::C2 => 3,
+                });
+                w.u32(ins.len() as u32);
+                for n in ins {
+                    w.u32(n.0);
+                }
+            }
+            Node::GcLatch { set, reset, holds } => {
+                w.u8(3);
+                w.u32(set.0);
+                w.u32(reset.0);
+                w.u32(holds.index() as u32);
+            }
+        }
+    }
+    let signals = nl.signals();
+    for i in 0..signals.len() {
+        match nl.driver(SignalId::from_index(i)) {
+            None => w.u8(0),
+            Some(n) => {
+                w.u8(1);
+                w.u32(n.0);
+            }
+        }
+    }
+}
+
+fn decode_netlist(r: &mut Reader) -> io::Result<Netlist> {
+    let signals = decode_signals(r)?;
+    let num_signals = signals.len();
+    let mut nl = Netlist::new(signals);
+    let num_nodes = r.u32()? as usize;
+    for i in 0..num_nodes {
+        let node = match r.u8()? {
+            0 => {
+                let s = r.u32()? as usize;
+                if s >= num_signals {
+                    return Err(bad("signal reference out of range"));
+                }
+                Node::SignalRef(SignalId::from_index(s))
+            }
+            1 => Node::Const(r.u8()? != 0),
+            2 => {
+                let gate = match r.u8()? {
+                    0 => GateType::Inv,
+                    1 => GateType::And2,
+                    2 => GateType::Or2,
+                    3 => GateType::C2,
+                    g => return Err(bad(format!("unknown gate tag {g}"))),
+                };
+                let num_ins = r.u32()? as usize;
+                if num_ins != gate.arity() {
+                    return Err(bad("gate arity mismatch"));
+                }
+                let ins: Vec<NodeId> = (0..num_ins)
+                    .map(|_| r.u32().map(NodeId))
+                    .collect::<io::Result<_>>()?;
+                if ins.iter().any(|n| n.0 as usize >= i) {
+                    return Err(bad("gate input references a later node"));
+                }
+                Node::Gate(gate, ins)
+            }
+            3 => {
+                let set = NodeId(r.u32()?);
+                let reset = NodeId(r.u32()?);
+                let holds = r.u32()? as usize;
+                if set.0 as usize >= i || reset.0 as usize >= i || holds >= num_signals {
+                    return Err(bad("latch wiring out of range"));
+                }
+                Node::GcLatch {
+                    set,
+                    reset,
+                    holds: SignalId::from_index(holds),
+                }
+            }
+            t => return Err(bad(format!("unknown node tag {t}"))),
+        };
+        nl.add(node);
+    }
+    for s in 0..num_signals {
+        if r.u8()? == 1 {
+            let n = r.u32()?;
+            if n as usize >= num_nodes {
+                return Err(bad("driver references a missing node"));
+            }
+            nl.set_driver(SignalId::from_index(s), NodeId(n))
+                .map_err(|e| bad(format!("embedded netlist: {e}")))?;
+        }
+    }
+    Ok(nl)
+}

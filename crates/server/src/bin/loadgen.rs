@@ -1,0 +1,198 @@
+//! Load driver for `reshuffle-server`: replay corpus plus
+//! `scaled_pipeline(n)` traffic at a chosen concurrency and report the
+//! service's `/stats`.
+//!
+//! ```sh
+//! loadgen --requests 128 --concurrency 8 --scale 6           # self-hosted
+//! loadgen --addr 127.0.0.1:7878 --requests 64                # external
+//! ```
+//!
+//! Without `--addr` the driver starts an in-process server, so one
+//! command load-tests a fresh build. Exits nonzero when any request
+//! gets an unexpected status (anything except `200`, or `503` shed
+//! load, which is counted separately).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use reshuffle_bench::examples::{self, scaled_pipeline};
+use reshuffle_server::{Server, ServerConfig};
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    scale: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        addr: None,
+        requests: 64,
+        concurrency: 8,
+        scale: 6,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => out.addr = Some(value()?.clone()),
+            "--requests" => out.requests = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--concurrency" => out.concurrency = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => out.scale = value()?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if out.scale < 1 || out.scale > 31 {
+        return Err("--scale must be in 1..=31".into());
+    }
+    Ok(out)
+}
+
+/// One blocking HTTP exchange; returns (status, body).
+fn exchange(addr: &str, request: &str) -> std::io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn post_body(g: &str, reduce: bool) -> String {
+    use reshuffle_bench::json::Json;
+    let mut members = vec![("g", Json::Str(g.to_string()))];
+    if reduce {
+        members.push(("options", Json::obj(vec![("reduce", Json::obj(vec![]))])));
+    }
+    let body = Json::obj(members).render();
+    format!(
+        "POST /synthesize HTTP/1.1\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Self-host unless pointed at an external server.
+    let own = if args.addr.is_none() {
+        match Server::start(ServerConfig::new()) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("error: cannot start server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .clone()
+        .unwrap_or_else(|| own.as_ref().unwrap().addr().to_string());
+
+    // Traffic mix: complete corpus entries plus one scaled pipeline —
+    // highly repetitive, the shape the cache and coalescing serve.
+    // `mfig1` is insertion-unresolvable by design; it needs the
+    // reduction stage to synthesize at all.
+    let mut corpus: Vec<String> = examples::ALL
+        .iter()
+        .filter(|(name, _)| !examples::PARTIAL.contains(name))
+        .map(|(name, src)| post_body(src, *name == "mfig1"))
+        .collect();
+    corpus.push(post_body(&scaled_pipeline(args.scale), false));
+    let corpus = Arc::new(corpus);
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..args.concurrency.max(1))
+        .map(|_| {
+            let (corpus, next, failures, shed, addr) = (
+                corpus.clone(),
+                next.clone(),
+                failures.clone(),
+                shed.clone(),
+                addr.clone(),
+            );
+            let total = args.requests;
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                match exchange(&addr, &corpus[i % corpus.len()]) {
+                    Ok((200, _)) => {}
+                    Ok((503, _)) => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok((status, body)) => {
+                        eprintln!("request {i}: unexpected {status}: {body}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("request {i}: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall = t0.elapsed();
+
+    let stats = match exchange(&addr, "GET /stats HTTP/1.1\r\n\r\n") {
+        Ok((200, body)) => body,
+        other => {
+            eprintln!("error: GET /stats failed: {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} requests in {:.1} ms ({:.0} req/s), {} shed",
+        args.requests,
+        wall.as_secs_f64() * 1e3,
+        args.requests as f64 / wall.as_secs_f64(),
+        shed.load(Ordering::Relaxed),
+    );
+    println!("stats: {stats}");
+
+    if let Some(server) = own {
+        if let Err(e) = server.stop() {
+            eprintln!("error during shutdown: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failures.load(Ordering::Relaxed) > 0 {
+        eprintln!(
+            "error: {} failed requests",
+            failures.load(Ordering::Relaxed)
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

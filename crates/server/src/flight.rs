@@ -1,0 +1,241 @@
+//! Single-flight request coalescing: concurrent work for the same key
+//! collapses into one execution whose result every waiter shares.
+//!
+//! [`SingleFlight::join`] is the only entry point: the first caller for
+//! a key becomes the [`Leader`](Join::Leader) and runs the work; every
+//! caller arriving before the leader [`publish`](LeaderGuard::publish)es
+//! becomes a [`Follower`](Join::Follower) and blocks (with a timeout)
+//! on the shared slot. Publishing removes the key, so a *later* caller
+//! starts a fresh flight — by then the result is in the synthesis
+//! cache, making the re-run an O(1) hit. A leader that unwinds without
+//! publishing abandons the slot instead of wedging its followers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The in-flight registry. `V` is the published result; it is cloned
+/// once per follower.
+#[derive(Debug, Default)]
+pub struct SingleFlight<V> {
+    slots: Mutex<HashMap<u64, Arc<Slot<V>>>>,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState<V> {
+    Pending,
+    Done(V),
+    Abandoned,
+}
+
+/// The role [`SingleFlight::join`] assigned to a caller.
+#[derive(Debug)]
+pub enum Join<'f, V> {
+    /// First in: run the work, then [`LeaderGuard::publish`].
+    Leader(LeaderGuard<'f, V>),
+    /// Someone else is running the identical work: [`Follower::wait`].
+    Follower(Follower<V>),
+}
+
+/// Proof of leadership for one key. Dropping the guard without
+/// [`publish`](LeaderGuard::publish)ing marks the flight abandoned so
+/// followers fail fast instead of hanging.
+#[derive(Debug)]
+pub struct LeaderGuard<'f, V> {
+    flight: &'f SingleFlight<V>,
+    key: u64,
+    slot: Arc<Slot<V>>,
+    published: bool,
+}
+
+/// A follower's handle on the leader's slot.
+#[derive(Debug)]
+pub struct Follower<V> {
+    slot: Arc<Slot<V>>,
+}
+
+/// What a follower's wait produced.
+#[derive(Debug, PartialEq)]
+pub enum FlightResult<V> {
+    /// The leader published this result.
+    Done(V),
+    /// The leader unwound without publishing.
+    Abandoned,
+    /// The leader did not publish within the timeout.
+    TimedOut,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty registry.
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`, atomically electing one leader among
+    /// concurrent callers.
+    pub fn join(&self, key: u64) -> Join<'_, V> {
+        let mut slots = self.slots.lock().unwrap();
+        if let Some(slot) = slots.get(&key) {
+            return Join::Follower(Follower { slot: slot.clone() });
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        });
+        slots.insert(key, slot.clone());
+        Join::Leader(LeaderGuard {
+            flight: self,
+            key,
+            slot,
+            published: false,
+        })
+    }
+
+    /// Number of flights currently in progress.
+    pub fn in_flight(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    fn finish(&self, key: u64, slot: &Arc<Slot<V>>, state: SlotState<V>) {
+        // Remove the key first: a caller arriving after the result is
+        // out starts a new flight rather than reading a stale slot.
+        self.slots.lock().unwrap().remove(&key);
+        *slot.state.lock().unwrap() = state;
+        slot.cv.notify_all();
+    }
+}
+
+impl<V: Clone> LeaderGuard<'_, V> {
+    /// Hands `value` to every follower and retires the flight.
+    pub fn publish(mut self, value: V) {
+        self.published = true;
+        self.flight
+            .finish(self.key, &self.slot, SlotState::Done(value));
+    }
+}
+
+impl<V> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight.slots.lock().unwrap().remove(&self.key);
+            *self.slot.state.lock().unwrap() = SlotState::Abandoned;
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+impl<V: Clone> Follower<V> {
+    /// Blocks until the leader publishes, abandons, or `timeout`
+    /// elapses.
+    pub fn wait(&self, timeout: Duration) -> FlightResult<V> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Done(v) => return FlightResult::Done(v.clone()),
+                SlotState::Abandoned => return FlightResult::Abandoned,
+                SlotState::Pending => {}
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return FlightResult::TimedOut;
+            };
+            let (next, timed_out) = self.slot.cv.wait_timeout(state, left).unwrap();
+            state = next;
+            if timed_out.timed_out() && matches!(&*state, SlotState::Pending) {
+                return FlightResult::TimedOut;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn one_leader_many_followers() {
+        // Deterministic: all N threads join *before* anyone proceeds
+        // (barrier after role assignment), so exactly one leader and
+        // N-1 followers — no timing luck involved.
+        let n = 8;
+        let flight = Arc::new(SingleFlight::<u64>::new());
+        let barrier = Arc::new(Barrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (flight, barrier, leaders) = (flight.clone(), barrier.clone(), leaders.clone());
+                std::thread::spawn(move || {
+                    let role = flight.join(42);
+                    barrier.wait();
+                    match role {
+                        Join::Leader(guard) => {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                            guard.publish(1999);
+                            1999
+                        }
+                        Join::Follower(f) => match f.wait(Duration::from_secs(10)) {
+                            FlightResult::Done(v) => v,
+                            other => panic!("follower got {other:?}"),
+                        },
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1999);
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn published_flights_retire_and_rerun() {
+        let flight = SingleFlight::<u64>::new();
+        let Join::Leader(guard) = flight.join(7) else {
+            panic!("first joiner must lead");
+        };
+        assert_eq!(flight.in_flight(), 1);
+        guard.publish(1);
+        assert_eq!(flight.in_flight(), 0);
+        // The key is free again: the next joiner leads a fresh flight.
+        assert!(matches!(flight.join(7), Join::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_abandons_followers() {
+        let flight = SingleFlight::<u64>::new();
+        let leader = flight.join(7);
+        let Join::Follower(follower) = flight.join(7) else {
+            panic!("second joiner must follow");
+        };
+        drop(leader);
+        assert_eq!(
+            follower.wait(Duration::from_secs(10)),
+            FlightResult::Abandoned
+        );
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn follower_times_out_on_a_stuck_leader() {
+        let flight = SingleFlight::<u64>::new();
+        let _leader = flight.join(7);
+        let Join::Follower(follower) = flight.join(7) else {
+            panic!("second joiner must follow");
+        };
+        assert_eq!(
+            follower.wait(Duration::from_millis(20)),
+            FlightResult::TimedOut
+        );
+    }
+}

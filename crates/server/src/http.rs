@@ -1,0 +1,197 @@
+//! Hand-rolled HTTP/1.1, the way the bench crate hand-rolls JSON: the
+//! build container has no network, so no hyper — a blocking
+//! request reader and response writer over [`std::net::TcpStream`] is
+//! all the service needs. One request per connection
+//! (`Connection: close`), bodies sized by `Content-Length` and bounded
+//! by the server's limit.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers, defending the reader
+/// against unbounded header streams.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method verb, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The request target (path only; queries are not used).
+    pub path: String,
+    /// The body, `Content-Length` bytes of it.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be served a 200.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes were not a well-formed HTTP/1.1 request → 400.
+    Malformed(String),
+    /// The declared body exceeds the server's limit → 413.
+    BodyTooLarge,
+    /// The socket failed mid-read (peer gone, read timeout) — nothing
+    /// to respond to.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// Reads one HTTP/1.1 request from `stream`, rejecting bodies larger
+/// than `max_body` bytes.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] on protocol violations,
+/// [`HttpError::BodyTooLarge`] past the body limit, [`HttpError::Io`]
+/// when the socket dies.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = 0usize;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(malformed("empty request"));
+    }
+    head += line.len();
+    let mut parts = line.trim_end().split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| malformed("missing request target"))?
+        .to_string();
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(malformed("not an HTTP/1.x request line"));
+    }
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(malformed("bad method or target"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        head += line.len();
+        if head > MAX_HEAD_BYTES {
+            return Err(malformed("header section too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            if line.is_empty() {
+                return Err(malformed("connection closed inside headers"));
+            }
+            break;
+        }
+        let (name, value) = trimmed
+            .split_once(':')
+            .ok_or_else(|| malformed("header without a colon"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(malformed("chunked bodies are not supported"));
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            b"POST /synthesize HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+            64,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/synthesize");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(matches!(
+            roundtrip(b"not http at all\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+}

@@ -1,0 +1,704 @@
+//! `reshuffle-server`: the long-running synthesis service the ROADMAP's
+//! production story asks for — [`Pipeline`] behind a hand-rolled
+//! HTTP/1.1 layer on [`std::net::TcpListener`].
+//!
+//! Three pillars:
+//!
+//! 1. **Persistent cache** — every run goes through one shared
+//!    [`SynthCache`]; with a configured
+//!    [`cache path`](ServerConfig::with_cache_path) the cache is loaded
+//!    at startup and saved at shutdown through a
+//!    [`reshuffle::FileStore`], so restarts replay prior
+//!    traffic as O(1) hits. An optional
+//!    [`capacity`](ServerConfig::with_cache_capacity) bounds it with
+//!    LRU eviction.
+//! 2. **Batching + single-flight dedup** — connections land on a
+//!    bounded accept queue drained by a worker pool sized by
+//!    [`BuildOptions::threads`]; when the queue is full the service
+//!    sheds load with `503` instead of stalling. Concurrent requests
+//!    for the same spec × options (the [`reshuffle::run_cache_key`])
+//!    coalesce into one pipeline execution whose result every waiter
+//!    shares, with a per-request timeout.
+//! 3. **Ops surface** — `GET /stats` reports request/coalescing/shed
+//!    counters, cache hit/entry/eviction counters, and accumulated
+//!    per-stage wall times as JSON.
+//!
+//! # Endpoints
+//!
+//! | Method | Path | Body | Response |
+//! |---|---|---|---|
+//! | `POST` | `/synthesize` | `{"g": "<.g text>", "options": {…}}` | `{"cache_hit": b, "coalesced": b, "result": {…}}` |
+//! | `GET`  | `/stats` | — | counters + stage timings |
+//! | `GET`  | `/healthz` | — | `ok` |
+//! | `POST` | `/shutdown` | — | `ok`, then the server drains and exits |
+//!
+//! `options` mirrors [`PipelineOptions`]: `"style"`
+//! (`"complex-gate"`/`"gc"`), `"expand"`/`"reduce"` (`true`, an options
+//! object, or `null`), `"csc"` (`{"max_signals", "rank_pool"}`) and
+//! `"skip_verify"`. Malformed requests get `400`, oversized bodies
+//! `413`, pipeline failures `422`, shed load `503`, and a coalesced
+//! wait past the timeout `504`.
+
+#![warn(missing_docs)]
+
+mod flight;
+mod http;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reshuffle::{
+    run_cache_key, CscOptions, ExpansionOptions, FileStore, ImplStyle, Pipeline, PipelineOptions,
+    ReduceOptions, Stage, SynthCache,
+};
+use reshuffle_bench::json::{self, Json};
+use reshuffle_petri::parse_g;
+use reshuffle_sg::BuildOptions;
+
+pub use flight::{FlightResult, Follower, Join, LeaderGuard, SingleFlight};
+pub use http::{read_request, write_response, HttpError, Request};
+
+/// How the service binds, pools, bounds and persists.
+///
+/// `#[non_exhaustive]`: build it with [`ServerConfig::new`] and the
+/// `with_*` setters.
+///
+/// # Worked example
+///
+/// Bind to an ephemeral port, answer a health check, shut down:
+///
+/// ```
+/// use reshuffle_server::{Server, ServerConfig};
+/// use std::io::{Read, Write};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let cfg = ServerConfig::new()
+///     .with_addr("127.0.0.1:0")
+///     .with_threads(2)
+///     .with_cache_capacity(Some(64));
+/// let server = Server::start(cfg)?;
+///
+/// let mut conn = std::net::TcpStream::connect(server.addr())?;
+/// conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+/// let mut response = String::new();
+/// conn.read_to_string(&mut response)?;
+/// assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+///
+/// server.stop()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` by default — an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `0` (the default, via [`BuildOptions`]) resolves
+    /// to the machine's available parallelism.
+    pub threads: usize,
+    /// Accepted connections queued ahead of the workers; one more and
+    /// the service sheds with `503`.
+    pub queue_depth: usize,
+    /// Per-request budget: read timeout on the socket and the wait
+    /// bound for coalesced followers.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// LRU bound on the synthesis cache (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Snapshot file the cache is loaded from at startup and saved to
+    /// at shutdown (`None` = in-memory only).
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: BuildOptions::default().threads,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(30),
+            max_body_bytes: 1024 * 1024,
+            cache_capacity: None,
+            cache_path: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration (ephemeral localhost port, pool sized
+    /// by available parallelism, 64-deep queue, 30 s timeout, 1 MiB
+    /// bodies, unbounded in-memory cache).
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker-pool size (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> ServerConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the accept-queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> ServerConfig {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the per-request timeout.
+    pub fn with_request_timeout(mut self, timeout: Duration) -> ServerConfig {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the request-body limit.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> ServerConfig {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Bounds the synthesis cache (`None` = unbounded).
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> ServerConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Persists the cache to `path` across restarts.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> ServerConfig {
+        self.cache_path = Some(path.into());
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    synth_requests: AtomicU64,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// Accumulated wall time and run count per pipeline stage.
+#[derive(Debug, Default)]
+struct StageTotals {
+    totals: Mutex<[(u64, Duration); 5]>,
+}
+
+fn stage_index(stage: Stage) -> usize {
+    match stage {
+        Stage::Parse => 0,
+        Stage::Expand => 1,
+        Stage::Reduce => 2,
+        Stage::Resolve => 3,
+        Stage::Synthesize => 4,
+    }
+}
+
+const STAGE_NAMES: [&str; 5] = ["parse", "expand", "reduce", "resolve", "synthesize"];
+
+/// `Ok(stable result JSON)` or `Err((status, error message))` — what a
+/// flight leader publishes to its followers.
+type SynthOutcome = Result<String, (u16, String)>;
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: SynthCache,
+    flights: SingleFlight<SynthOutcome>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    shutdown: (Mutex<bool>, Condvar),
+    stats: Stats,
+    stage_totals: StageTotals,
+    started: Instant,
+}
+
+impl Shared {
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(addr);
+        let (lock, cv) = &self.shutdown;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn accumulate_stages(&self, diag: &reshuffle::Diagnostics) {
+        let mut totals = self.stage_totals.totals.lock().unwrap();
+        for report in &diag.stages {
+            let slot = &mut totals[stage_index(report.stage)];
+            slot.0 += 1;
+            slot.1 += report.wall;
+        }
+    }
+}
+
+/// A running service: accept thread plus worker pool.
+///
+/// Start with [`Server::start`]; take the service down with
+/// [`Server::stop`] (or let a client `POST /shutdown` and pair it with
+/// [`Server::wait_for_shutdown`] + `stop`, the binary's lifecycle).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, loads the cache snapshot (when configured), and spawns
+    /// the accept thread plus worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and unreadable/corrupt cache snapshots.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let cache = match &cfg.cache_path {
+            Some(path) => SynthCache::load_from(&FileStore::new(path))?,
+            None => SynthCache::new(),
+        };
+        cache.set_capacity(cfg.cache_capacity);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = match cfg.threads {
+            0 => std::thread::available_parallelism().map_or(2, usize::from),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            cache,
+            flights: SingleFlight::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            shutdown: (Mutex::new(false), Condvar::new()),
+            stats: Stats::default(),
+            stage_totals: StageTotals::default(),
+            started: Instant::now(),
+        });
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service's synthesis cache.
+    pub fn cache(&self) -> &SynthCache {
+        &self.shared.cache
+    }
+
+    /// Blocks until a client posts `/shutdown`.
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shared.shutdown;
+        let mut down = lock.lock().unwrap();
+        while !*down {
+            down = cv.wait(down).unwrap();
+        }
+    }
+
+    /// Stops accepting, drains the pool, and saves the cache snapshot
+    /// (when a path is configured).
+    ///
+    /// # Errors
+    ///
+    /// Snapshot write failures; the threads are already down by then.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.shared.begin_shutdown(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.shared.cfg.cache_path {
+            self.shared.cache.save_to(&FileStore::new(path))?;
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        let Ok((conn, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.cfg.queue_depth {
+            drop(queue);
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let mut conn = conn;
+            let _ = write_response(
+                &mut conn,
+                503,
+                "application/json",
+                error_body("server overloaded; retry later").as_bytes(),
+            );
+        } else {
+            queue.push_back(conn);
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        match conn {
+            Some(mut conn) => handle_connection(shared, &mut conn),
+            None => return,
+        }
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::Str(msg.to_string()))]).render()
+}
+
+fn handle_connection(shared: &Shared, conn: &mut TcpStream) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = conn.set_read_timeout(Some(shared.cfg.request_timeout));
+    let request = match read_request(conn, shared.cfg.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::Malformed(msg)) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(&format!("malformed request: {msg}"));
+            let _ = write_response(conn, 400, "application/json", body.as_bytes());
+            return;
+        }
+        Err(HttpError::BodyTooLarge) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(&format!(
+                "body exceeds the {} byte limit",
+                shared.cfg.max_body_bytes
+            ));
+            let _ = write_response(conn, 413, "application/json", body.as_bytes());
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
+    };
+    let (status, body) = route(shared, &request);
+    let _ = write_response(conn, status, "application/json", body.as_bytes());
+    if request.method == "POST" && request.path == "/shutdown" {
+        // Answer first, then take the service down.
+        shared.begin_shutdown(
+            conn.local_addr()
+                .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal socket address")),
+        );
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/synthesize") => handle_synthesize(shared, &request.body),
+        ("GET", "/stats") => (200, render_stats(shared)),
+        ("GET", "/healthz") => (200, Json::Str("ok".into()).render()),
+        ("POST", "/shutdown") => (200, Json::Str("ok".into()).render()),
+        (_, "/synthesize" | "/stats" | "/healthz" | "/shutdown") => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (
+                405,
+                error_body(&format!("{} not allowed here", request.method)),
+            )
+        }
+        (_, path) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (404, error_body(&format!("no such endpoint: {path}")))
+        }
+    }
+}
+
+/// Maps a request's `options` member onto [`PipelineOptions`] — the
+/// same vocabulary as the builder setters.
+fn options_from_json(spec: Option<&Json>) -> Result<PipelineOptions, String> {
+    let mut opts = PipelineOptions::new();
+    let Some(spec) = spec else {
+        return Ok(opts);
+    };
+    let Json::Obj(members) = spec else {
+        return Err("options must be an object".into());
+    };
+    for (key, value) in members {
+        match key.as_str() {
+            "style" => {
+                opts = opts.with_style(match value.as_str() {
+                    Some("complex-gate") => ImplStyle::ComplexGate,
+                    Some("gc") => ImplStyle::GeneralizedC,
+                    _ => return Err("style must be \"complex-gate\" or \"gc\"".into()),
+                });
+            }
+            "expand" => match value {
+                Json::Null | Json::Bool(false) => {}
+                Json::Bool(true) => opts = opts.with_expand(ExpansionOptions::default()),
+                Json::Obj(_) => {
+                    let mut eopts = ExpansionOptions::default();
+                    if let Some(n) = value.get("max_reshufflings") {
+                        eopts.max_reshufflings = num_field(n, "expand.max_reshufflings")? as usize;
+                    }
+                    opts = opts.with_expand(eopts);
+                }
+                _ => return Err("expand must be a bool, an object, or null".into()),
+            },
+            "reduce" => match value {
+                Json::Null | Json::Bool(false) => {}
+                Json::Bool(true) => opts = opts.with_reduce(ReduceOptions::default()),
+                Json::Obj(_) => {
+                    let mut ropts = ReduceOptions::default();
+                    if let Some(v) = value.get("max_cycle_time") {
+                        ropts.max_cycle_time = match v {
+                            Json::Null => None,
+                            _ => Some(num_field(v, "reduce.max_cycle_time")?),
+                        };
+                    }
+                    if let Some(v) = value.get("max_moves") {
+                        ropts.max_moves = num_field(v, "reduce.max_moves")? as usize;
+                    }
+                    if let Some(v) = value.get("max_expansions") {
+                        ropts.max_expansions = num_field(v, "reduce.max_expansions")? as usize;
+                    }
+                    if let Some(v) = value.get("input_delay") {
+                        ropts.input_delay = num_field(v, "reduce.input_delay")?;
+                    }
+                    if let Some(v) = value.get("gate_delay") {
+                        ropts.gate_delay = num_field(v, "reduce.gate_delay")?;
+                    }
+                    opts = opts.with_reduce(ropts);
+                }
+                _ => return Err("reduce must be a bool, an object, or null".into()),
+            },
+            "csc" => {
+                let Json::Obj(_) = value else {
+                    return Err("csc must be an object".into());
+                };
+                let mut copts = CscOptions::default();
+                if let Some(v) = value.get("max_signals") {
+                    copts.max_signals = num_field(v, "csc.max_signals")? as usize;
+                }
+                if let Some(v) = value.get("rank_pool") {
+                    copts.rank_pool = num_field(v, "csc.rank_pool")? as usize;
+                }
+                opts = opts.with_csc(copts);
+            }
+            "skip_verify" => match value {
+                Json::Bool(b) => opts = opts.with_skip_verify(*b),
+                _ => return Err("skip_verify must be a bool".into()),
+            },
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn num_field(value: &Json, what: &str) -> Result<f64, String> {
+    value
+        .as_num()
+        .filter(|n| *n >= 0.0)
+        .ok_or_else(|| format!("{what} must be a non-negative number"))
+}
+
+fn handle_synthesize(shared: &Shared, body: &[u8]) -> (u16, String) {
+    shared.stats.synth_requests.fetch_add(1, Ordering::Relaxed);
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(json::parse);
+    let request = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (400, error_body(&format!("bad JSON: {e}")));
+        }
+    };
+    let Some(g) = request.get("g").and_then(Json::as_str) else {
+        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return (400, error_body("missing string member \"g\""));
+    };
+    let opts = match options_from_json(request.get("options")) {
+        Ok(opts) => opts,
+        Err(e) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (400, error_body(&e));
+        }
+    };
+    let stg = match parse_g(g) {
+        Ok(stg) => stg,
+        Err(e) => return (422, error_body(&format!("parse: {e}"))),
+    };
+    let key = run_cache_key(&stg, &opts);
+
+    match shared.flights.join(key) {
+        Join::Leader(guard) => {
+            let outcome = run_pipeline(shared, key, &stg, &opts);
+            guard.publish(outcome.clone().map(|(stable, _)| stable));
+            match outcome {
+                Ok((stable, cache_hit)) => (200, synth_response(cache_hit, false, &stable)),
+                Err((status, msg)) => (status, error_body(&msg)),
+            }
+        }
+        Join::Follower(follower) => match follower.wait(shared.cfg.request_timeout) {
+            FlightResult::Done(Ok(stable)) => {
+                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                (200, synth_response(false, true, &stable))
+            }
+            FlightResult::Done(Err((status, msg))) => {
+                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                (status, error_body(&msg))
+            }
+            FlightResult::Abandoned => (500, error_body("in-flight synthesis failed")),
+            FlightResult::TimedOut => {
+                shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                (504, error_body("timed out waiting for in-flight synthesis"))
+            }
+        },
+    }
+}
+
+/// Runs the pipeline under the shared cache, returning the stable
+/// result JSON (identical for every coalesced waiter) plus whether the
+/// run was a cache hit.
+fn run_pipeline(
+    shared: &Shared,
+    key: u64,
+    stg: &reshuffle::Stg,
+    opts: &PipelineOptions,
+) -> Result<(String, bool), (u16, String)> {
+    let done = Pipeline::from_stg(stg)
+        .with_cache(&shared.cache)
+        .run(opts)
+        .map_err(|e| (422u16, e.to_string()))?;
+    let cache_hit = done.diagnostics().cache_hits == 1;
+    if !cache_hit {
+        shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+        shared.accumulate_stages(done.diagnostics());
+    }
+    let s = done.synthesis();
+    let strings =
+        |items: &[String]| Json::Arr(items.iter().map(|i| Json::Str(i.clone())).collect());
+    let result = Json::obj(vec![
+        ("key", Json::Str(format!("{key:#018x}"))),
+        ("model", Json::Str(s.stg.name.clone())),
+        (
+            "signals",
+            Json::Arr(
+                s.netlist
+                    .signals()
+                    .iter()
+                    .map(|sig| Json::Str(sig.name.clone()))
+                    .collect(),
+            ),
+        ),
+        ("inserted", strings(&s.inserted)),
+        (
+            "moves",
+            Json::Arr(s.move_labels().map(|l| Json::Str(l.to_string())).collect()),
+        ),
+        ("expansion", strings(&s.expansion)),
+        ("netlist", Json::Str(s.netlist.describe())),
+    ]);
+    Ok((result.render(), cache_hit))
+}
+
+fn synth_response(cache_hit: bool, coalesced: bool, stable: &str) -> String {
+    // `stable` is the leader's already-rendered result object; splice
+    // it in verbatim so every coalesced response carries an identical
+    // payload.
+    format!("{{\"cache_hit\":{cache_hit},\"coalesced\":{coalesced},\"result\":{stable}}}")
+}
+
+fn render_stats(shared: &Shared) -> String {
+    let totals = shared.stage_totals.totals.lock().unwrap();
+    let stages = Json::Arr(
+        STAGE_NAMES
+            .iter()
+            .zip(totals.iter())
+            .filter(|(_, (runs, _))| *runs > 0)
+            .map(|(name, (runs, wall))| {
+                Json::obj(vec![
+                    ("stage", Json::Str(name.to_string())),
+                    ("runs", Json::Num(*runs as f64)),
+                    ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+                ])
+            })
+            .collect(),
+    );
+    drop(totals);
+    let stat = |counter: &AtomicU64| Json::Num(counter.load(Ordering::Relaxed) as f64);
+    let cache = &shared.cache;
+    Json::obj(vec![
+        (
+            "uptime_ms",
+            Json::Num(shared.started.elapsed().as_secs_f64() * 1e3),
+        ),
+        ("requests", stat(&shared.stats.requests)),
+        ("synth_requests", stat(&shared.stats.synth_requests)),
+        ("executed", stat(&shared.stats.executed)),
+        ("coalesced", stat(&shared.stats.coalesced)),
+        ("shed", stat(&shared.stats.shed)),
+        ("timeouts", stat(&shared.stats.timeouts)),
+        ("bad_requests", stat(&shared.stats.bad_requests)),
+        ("in_flight", Json::Num(shared.flights.in_flight() as f64)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("entries", Json::Num(cache.len() as f64)),
+                (
+                    "capacity",
+                    cache.capacity().map_or(Json::Null, |c| Json::Num(c as f64)),
+                ),
+                ("hits", Json::Num(cache.hits() as f64)),
+                ("misses", Json::Num(cache.misses() as f64)),
+                ("shared_hits", Json::Num(cache.shared_hits() as f64)),
+                ("evictions", Json::Num(cache.evictions() as f64)),
+            ]),
+        ),
+        ("stages", stages),
+    ])
+    .render()
+}

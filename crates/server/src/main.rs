@@ -1,0 +1,101 @@
+//! The `reshuffle-server` binary: parse flags, start the service, and
+//! run until a client posts `/shutdown` (or the process is killed).
+//!
+//! ```sh
+//! reshuffle-server --addr 127.0.0.1:7878 --cache /tmp/reshuffle.cache \
+//!     --cache-capacity 1024 --threads 4
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use reshuffle_server::{Server, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: reshuffle-server [--addr HOST:PORT] [--threads N] [--queue-depth N]\n\
+     \x20                       [--timeout-secs N] [--max-body-bytes N]\n\
+     \x20                       [--cache PATH] [--cache-capacity N]"
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg = cfg.with_addr(value("an address")?),
+            "--threads" => {
+                cfg = cfg.with_threads(
+                    value("a count")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                );
+            }
+            "--queue-depth" => {
+                cfg = cfg.with_queue_depth(
+                    value("a depth")?
+                        .parse()
+                        .map_err(|e| format!("--queue-depth: {e}"))?,
+                );
+            }
+            "--timeout-secs" => {
+                cfg = cfg.with_request_timeout(Duration::from_secs(
+                    value("seconds")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-secs: {e}"))?,
+                ));
+            }
+            "--max-body-bytes" => {
+                cfg = cfg.with_max_body_bytes(
+                    value("a size")?
+                        .parse()
+                        .map_err(|e| format!("--max-body-bytes: {e}"))?,
+                );
+            }
+            "--cache" => cfg = cfg.with_cache_path(value("a path")?),
+            "--cache-capacity" => {
+                cfg = cfg.with_cache_capacity(Some(
+                    value("a count")?
+                        .parse()
+                        .map_err(|e| format!("--cache-capacity: {e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("reshuffle-server listening on {}", server.addr());
+    server.wait_for_shutdown();
+    match server.stop() {
+        Ok(()) => {
+            println!("reshuffle-server: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error during shutdown: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end service tests over real sockets: single-flight
+//! coalescing, cache persistence across a restart, the eviction bound,
+//! the 4xx surface, and the `/stats` document (validated with the
+//! hand-rolled JSON parser).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use reshuffle_bench::examples::{scaled_pipeline, TOGGLE_G, XYZ_G};
+use reshuffle_bench::json::{self, Json};
+use reshuffle_server::{Server, ServerConfig};
+
+/// One blocking exchange; returns (status, body).
+fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let status = response.split(' ').nth(1).unwrap().parse().unwrap();
+    let body = response.split_once("\r\n\r\n").unwrap().1.to_string();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+}
+
+fn synth_body(g: &str) -> String {
+    Json::obj(vec![("g", Json::Str(g.to_string()))]).render()
+}
+
+fn stats(addr: SocketAddr) -> Json {
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    json::parse(&body).expect("stats must be valid JSON")
+}
+
+fn stat(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("missing numeric stat {key}: {}", doc.render()))
+}
+
+fn cache_stat(doc: &Json, key: &str) -> f64 {
+    stat(doc.get("cache").expect("missing cache object"), key)
+}
+
+/// A per-test temp file path (no tempdir crate in the container).
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "reshuffle-server-test-{}-{}-{tag}.cache",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_execution() {
+    let n = 8;
+    let server = Server::start(
+        ServerConfig::new()
+            .with_threads(n)
+            .with_queue_depth(4 * n)
+            .with_request_timeout(Duration::from_secs(120)),
+    )
+    .unwrap();
+    let addr = server.addr();
+    // A spec big enough that the pipeline takes real wall time, so
+    // concurrent arrivals overlap the leader's run.
+    let body = Arc::new(synth_body(&scaled_pipeline(7)));
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let (body, barrier) = (body.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                post(addr, "/synthesize", &body)
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every request succeeded, and all carried the identical payload.
+    let mut results = Vec::new();
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        let doc = json::parse(body).unwrap();
+        results.push(doc.get("result").expect("missing result").render());
+    }
+    results.dedup();
+    assert_eq!(results.len(), 1, "coalesced responses diverged");
+
+    // Exactly one underlying pipeline execution. A racer arriving
+    // after the leader published re-runs — and hits the cache — so
+    // every non-executing request shows up as either a coalesced wait
+    // or a cache hit.
+    let doc = stats(addr);
+    assert_eq!(stat(&doc, "executed"), 1.0, "{}", doc.render());
+    assert_eq!(
+        stat(&doc, "coalesced") + cache_stat(&doc, "hits"),
+        (n - 1) as f64,
+        "{}",
+        doc.render()
+    );
+    assert_eq!(stat(&doc, "synth_requests"), n as f64);
+    assert_eq!(stat(&doc, "timeouts"), 0.0);
+    assert_eq!(stat(&doc, "in_flight"), 0.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn cache_survives_a_restart_and_replays_as_a_hit() {
+    let path = temp_path("persist");
+    let body = synth_body(XYZ_G);
+
+    // First server: a real execution, snapshot saved on stop.
+    let server = Server::start(ServerConfig::new().with_cache_path(&path)).unwrap();
+    let (status, first) = post(server.addr(), "/synthesize", &body);
+    assert_eq!(status, 200, "{first}");
+    let first = json::parse(&first).unwrap();
+    assert_eq!(first.get("cache_hit"), Some(&Json::Bool(false)));
+    server.stop().unwrap();
+
+    // Second server: same key, O(1) hit, zero executions.
+    let server = Server::start(ServerConfig::new().with_cache_path(&path)).unwrap();
+    let doc = stats(server.addr());
+    assert_eq!(cache_stat(&doc, "entries"), 1.0, "snapshot not loaded");
+    let (status, second) = post(server.addr(), "/synthesize", &body);
+    assert_eq!(status, 200, "{second}");
+    let second = json::parse(&second).unwrap();
+    assert_eq!(
+        second.get("cache_hit"),
+        Some(&Json::Bool(true)),
+        "replay missed the persisted cache"
+    );
+    // Identical fingerprint × option key and identical payload across
+    // the restart.
+    assert_eq!(
+        first.get("result").unwrap().render(),
+        second.get("result").unwrap().render()
+    );
+    let doc = stats(server.addr());
+    assert_eq!(stat(&doc, "executed"), 0.0, "restart re-ran the pipeline");
+    server.stop().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bounded_cache_reports_evictions() {
+    let server = Server::start(ServerConfig::new().with_cache_capacity(Some(1))).unwrap();
+    let addr = server.addr();
+    assert_eq!(post(addr, "/synthesize", &synth_body(XYZ_G)).0, 200);
+    assert_eq!(post(addr, "/synthesize", &synth_body(TOGGLE_G)).0, 200);
+    let doc = stats(addr);
+    assert_eq!(cache_stat(&doc, "entries"), 1.0, "{}", doc.render());
+    assert_eq!(cache_stat(&doc, "capacity"), 1.0);
+    assert!(cache_stat(&doc, "evictions") >= 1.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn bad_requests_get_4xx() {
+    let server = Server::start(ServerConfig::new().with_max_body_bytes(256)).unwrap();
+    let addr = server.addr();
+
+    // Not JSON at all.
+    let (status, body) = post(addr, "/synthesize", "this is not json");
+    assert_eq!(status, 400, "{body}");
+    // JSON without the "g" member.
+    let (status, _) = post(addr, "/synthesize", "{\"spec\": 1}");
+    assert_eq!(status, 400);
+    // Unknown option.
+    let (status, body) = post(
+        addr,
+        "/synthesize",
+        "{\"g\": \"x\", \"options\": {\"turbo\": true}}",
+    );
+    assert_eq!(status, 400, "{body}");
+    // Well-formed request, broken `.g` source: a pipeline-level 422.
+    let (status, body) = post(addr, "/synthesize", &synth_body(".model broken\n.end\n"));
+    assert_eq!(status, 422, "{body}");
+    // Oversized body (limit is 256 bytes here).
+    let (status, body) = post(addr, "/synthesize", &synth_body(&scaled_pipeline(4)));
+    assert_eq!(status, 413, "{body}");
+    // Unknown path, wrong method.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/synthesize").0, 405);
+    // Raw protocol garbage.
+    let (status, _) = exchange(addr, "EHLO not-http\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let doc = stats(addr);
+    assert!(stat(&doc, "bad_requests") >= 6.0, "{}", doc.render());
+    assert_eq!(stat(&doc, "executed"), 0.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn options_select_pipeline_behavior() {
+    let server = Server::start(ServerConfig::new()).unwrap();
+    let addr = server.addr();
+    // Same spec, different options: distinct keys, both executed.
+    let default_body = synth_body(XYZ_G);
+    let gc_body = Json::obj(vec![
+        ("g", Json::Str(XYZ_G.to_string())),
+        (
+            "options",
+            Json::obj(vec![("style", Json::Str("gc".to_string()))]),
+        ),
+    ])
+    .render();
+    let (status, a) = post(addr, "/synthesize", &default_body);
+    assert_eq!(status, 200, "{a}");
+    let (status, b) = post(addr, "/synthesize", &gc_body);
+    assert_eq!(status, 200, "{b}");
+    let (a, b) = (json::parse(&a).unwrap(), json::parse(&b).unwrap());
+    assert_eq!(b.get("cache_hit"), Some(&Json::Bool(false)));
+    assert_ne!(
+        a.get("result").unwrap().get("key"),
+        b.get("result").unwrap().get("key"),
+        "distinct options must use distinct cache keys"
+    );
+    let doc = stats(addr);
+    assert_eq!(stat(&doc, "executed"), 2.0);
+    // Stage timings accumulated for the executed runs.
+    let stages = doc.get("stages").and_then(Json::items).unwrap();
+    assert!(!stages.is_empty(), "no stage timings: {}", doc.render());
+    for entry in stages {
+        assert!(entry.get("stage").and_then(Json::as_str).is_some());
+        assert!(stat(entry, "runs") >= 1.0);
+        assert!(stat(entry, "wall_ms") >= 0.0);
+    }
+    server.stop().unwrap();
+}

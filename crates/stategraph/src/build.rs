@@ -414,17 +414,6 @@ pub fn build_state_graph_stats(stg: &Stg, opts: &BuildOptions) -> Result<(StateG
     Ok((sg, stats))
 }
 
-/// The markings of a built state graph, in state order (present when the
-/// graph came from an STG).
-#[deprecated(
-    since = "0.1.0",
-    note = "clones every per-state marking; read the interned arena via \
-            `StateGraph::marking_of` / `StateGraph::interned_markings` instead"
-)]
-pub fn state_markings(sg: &StateGraph) -> Vec<Option<Marking>> {
-    sg.state_ids().map(|s| sg.marking_of(s).cloned()).collect()
-}
-
 /// Re-derives event labels of an [`Stg`] for a state graph built from it
 /// (convenience used by tests and reports).
 pub fn event_label_map(stg: &Stg) -> Vec<String> {

@@ -47,8 +47,6 @@ pub mod props;
 pub mod restrict;
 mod sg;
 
-#[allow(deprecated)]
-pub use build::state_markings;
 pub use build::{
     build_state_graph, build_state_graph_stats, build_state_graph_with, event_label_map,
     BuildOptions, BuildStats,

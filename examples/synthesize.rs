@@ -32,10 +32,7 @@ fn main() -> ExitCode {
         },
         None => XYZ_G.to_string(),
     };
-    let opts = reshuffle::PipelineOptions {
-        expand: Some(ExpansionOptions::default()),
-        ..Default::default()
-    };
+    let opts = reshuffle::PipelineOptions::new().with_expand(ExpansionOptions::default());
     let parsed = match Pipeline::from_g(&source) {
         Ok(p) => p,
         Err(e) => {

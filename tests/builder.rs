@@ -6,6 +6,10 @@
 //! artifacts (inserted signals, serializing moves, expansion choices),
 //! and the identical golden-pin row; failures must carry the identical
 //! error message.
+//!
+//! This suite pins the deprecated wrappers' behavior, so it is the one
+//! place outside the facade allowed to call them.
+#![allow(deprecated)]
 
 mod common;
 
@@ -19,28 +23,20 @@ use reshuffle_bench::examples;
 /// The four pipeline modes the golden suite pins per corpus entry.
 fn modes() -> Vec<(&'static str, PipelineOptions)> {
     vec![
-        ("default", PipelineOptions::default()),
+        ("default", PipelineOptions::new()),
         (
             "reduce",
-            PipelineOptions {
-                reduce: Some(ReduceOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new().with_reduce(ReduceOptions::default()),
         ),
         (
             "expand",
-            PipelineOptions {
-                expand: Some(ExpansionOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new().with_expand(ExpansionOptions::default()),
         ),
         (
             "exp+red",
-            PipelineOptions {
-                expand: Some(ExpansionOptions::default()),
-                reduce: Some(ReduceOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new()
+                .with_expand(ExpansionOptions::default())
+                .with_reduce(ReduceOptions::default()),
         ),
     ]
 }

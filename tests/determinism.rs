@@ -131,7 +131,7 @@ fn restrict_on_csr_matches_full_rebuild_across_corpus() {
 }
 
 #[test]
-fn interned_markings_match_deprecated_per_state_clones() {
+fn marking_arena_is_consistent_with_per_state_views() {
     for (name, src) in examples::ALL {
         let sg = build_state_graph(&parse_g(src).unwrap()).unwrap();
         assert!(
@@ -142,15 +142,27 @@ fn interned_markings_match_deprecated_per_state_clones() {
             sg.num_interned_markings() <= sg.num_states(),
             "{name}: arena larger than the state set"
         );
-        #[allow(deprecated)]
-        let cloned = reshuffle_sg::state_markings(&sg);
-        assert_eq!(cloned.len(), sg.num_states());
+        // Every per-state view points into the interned arena (no
+        // clones), and the arena holds no duplicate markings.
+        let arena = sg.interned_markings();
+        assert_eq!(arena.len(), sg.num_interned_markings());
         for s in sg.state_ids() {
-            assert_eq!(
-                cloned[s as usize].as_ref(),
-                sg.marking_of(s),
-                "{name}: state {s} marking drifted"
+            let id = sg
+                .marking_id(s)
+                .unwrap_or_else(|| panic!("{name}: state {s} lost its marking"));
+            let via_arena = &arena[id.index()];
+            let via_state = sg
+                .marking_of(s)
+                .unwrap_or_else(|| panic!("{name}: state {s} lost its marking"));
+            assert!(
+                std::ptr::eq(via_arena, via_state),
+                "{name}: state {s} marking is not a view into the arena"
             );
+        }
+        for (i, a) in arena.iter().enumerate() {
+            for b in &arena[i + 1..] {
+                assert_ne!(a, b, "{name}: arena holds a duplicate marking");
+            }
         }
     }
 }

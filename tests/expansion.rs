@@ -7,7 +7,7 @@
 //! where the lattice offers a better point (the acceptance example:
 //! `pcreq`).
 
-use reshuffle::{synthesize_with, PipelineError, PipelineOptions};
+use reshuffle::{Pipeline, PipelineError, PipelineOptions, Synthesis};
 use reshuffle_bench::examples::{self, PCREQ_G};
 use reshuffle_handshake::{expand_handshakes, ExpansionOptions, HandshakeError};
 use reshuffle_petri::parse_g;
@@ -15,6 +15,11 @@ use reshuffle_sg::build_state_graph;
 use reshuffle_sg::conc::concurrent_pairs;
 use reshuffle_sg::props::{all_events_fire, speed_independence};
 use reshuffle_synth::literal_estimate;
+
+/// One-shot builder run on `.g` source.
+fn run(src: &str, opts: &PipelineOptions) -> reshuffle::Result<Synthesis> {
+    Pipeline::from_g(src)?.run(opts).map(|d| d.into_synthesis())
+}
 
 /// The corpus' partial entries, parsed.
 fn partial_specs() -> Vec<(&'static str, reshuffle_petri::Stg)> {
@@ -158,14 +163,14 @@ fn ranked_selection_strictly_beats_the_eager_expansion_on_pcreq() {
 
     let eager = &rs[0];
     assert!(eager.choices.is_empty());
-    let eager_synth = reshuffle::synthesize_stg(&eager.stg, &PipelineOptions::default()).unwrap();
+    let eager_synth = Pipeline::from_stg(&eager.stg)
+        .run(&PipelineOptions::default())
+        .unwrap()
+        .into_synthesis();
     let eager_lits = literal_estimate(&eager_synth.sg);
 
-    let opts = PipelineOptions {
-        expand: Some(ExpansionOptions::default()),
-        ..Default::default()
-    };
-    let selected = synthesize_with(PCREQ_G, &opts).unwrap();
+    let opts = PipelineOptions::new().with_expand(ExpansionOptions::default());
+    let selected = run(PCREQ_G, &opts).unwrap();
     let selected_lits = literal_estimate(&selected.sg);
 
     assert!(!selected.expansion.is_empty(), "selection chose eager");
@@ -180,7 +185,7 @@ fn ranked_selection_strictly_beats_the_eager_expansion_on_pcreq() {
 fn partial_specs_error_without_the_expand_stage() {
     for (name, spec) in partial_specs() {
         let src = reshuffle_petri::write_g(&spec);
-        match synthesize_with(&src, &PipelineOptions::default()) {
+        match run(&src, &PipelineOptions::default()) {
             Err(PipelineError::Expand(HandshakeError::NotExpanded)) => {}
             other => panic!("{name}: expected NotExpanded, got {other:?}"),
         }

@@ -6,13 +6,18 @@
 mod common;
 
 use reshuffle::{
-    synthesize, synthesize_with, ExpansionOptions, PipelineError, PipelineOptions, ReduceOptions,
+    ExpansionOptions, Pipeline, PipelineError, PipelineOptions, ReduceOptions, Synthesis,
 };
 use reshuffle_bench::examples::{self, XYZ_G};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::{build_state_graph, csc::analyze_csc, props::speed_independence};
 use reshuffle_synth::{derive_all_functions, verify_against_sg, ConflictPolicy};
 use reshuffle_timing::{simulate, DelayModel, SimOptions};
+
+/// One-shot builder run, shaped like the retired `synthesize_with`.
+fn run(src: &str, opts: &PipelineOptions) -> reshuffle::Result<Synthesis> {
+    Pipeline::from_g(src)?.run(opts).map(|d| d.into_synthesis())
+}
 
 #[test]
 fn parse_to_netlist_step_by_step() {
@@ -37,7 +42,9 @@ fn parse_to_netlist_step_by_step() {
     }
 
     // Stage 5: mapped netlist, verified against the specification.
-    let netlist = synthesize(XYZ_G).expect("facade pipeline");
+    let netlist = run(XYZ_G, &PipelineOptions::default())
+        .expect("facade pipeline")
+        .netlist;
     verify_against_sg(&sg, &netlist).expect("verification");
 
     // Stage 6: timing closes the loop (2+1 delays, 6-event cycle).
@@ -50,14 +57,14 @@ fn parse_to_netlist_step_by_step() {
 #[test]
 fn facade_rejects_malformed_sources_by_stage() {
     assert!(matches!(
-        synthesize(".model nothing\n.end\n"),
+        run(".model nothing\n.end\n", &PipelineOptions::default()),
         Err(PipelineError::Parse(_))
     ));
     // An inconsistent STG (b rises twice per cycle, never falls) fails
     // no later than the state-graph stage.
     let inconsistent = ".model bad\n.inputs a\n.outputs b\n.graph\n\
          a+ b+\nb+ b+/2\nb+/2 a-\na- a+\n.marking { <a-,a+> }\n.end\n";
-    match synthesize_with(inconsistent, &PipelineOptions::default()) {
+    match run(inconsistent, &PipelineOptions::default()) {
         Err(PipelineError::Parse(_)) | Err(PipelineError::StateGraph(_)) => {}
         other => panic!("expected staged failure, got {other:?}"),
     }
@@ -85,28 +92,20 @@ fn facade_rejects_malformed_sources_by_stage() {
 /// The four pipeline modes pinned per corpus entry.
 fn golden_modes() -> Vec<(&'static str, PipelineOptions)> {
     vec![
-        ("default", PipelineOptions::default()),
+        ("default", PipelineOptions::new()),
         (
             "reduce",
-            PipelineOptions {
-                reduce: Some(ReduceOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new().with_reduce(ReduceOptions::default()),
         ),
         (
             "expand",
-            PipelineOptions {
-                expand: Some(ExpansionOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new().with_expand(ExpansionOptions::default()),
         ),
         (
             "exp+red",
-            PipelineOptions {
-                expand: Some(ExpansionOptions::default()),
-                reduce: Some(ReduceOptions::default()),
-                ..Default::default()
-            },
+            PipelineOptions::new()
+                .with_expand(ExpansionOptions::default())
+                .with_reduce(ReduceOptions::default()),
         ),
     ]
 }
@@ -158,7 +157,7 @@ fn golden_corpus() {
     let mut actual = Vec::new();
     for (name, src) in examples::ALL {
         for (mode, opts) in golden_modes() {
-            actual.push(golden_line(name, mode, &synthesize_with(src, &opts)));
+            actual.push(golden_line(name, mode, &run(src, &opts)));
         }
     }
     let expected: Vec<String> = GOLDEN.iter().map(|s| s.to_string()).collect();
@@ -177,7 +176,7 @@ fn golden_corpus_netlists_verify() {
     // against its (possibly transformed) state graph.
     for (name, src) in examples::ALL {
         for (_, opts) in golden_modes() {
-            if let Ok(s) = synthesize_with(src, &opts) {
+            if let Ok(s) = run(src, &opts) {
                 verify_against_sg(&s.sg, &s.netlist)
                     .unwrap_or_else(|e| panic!("{name}: verification failed: {e}"));
             }
