@@ -27,10 +27,12 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
-use crate::Synthesis;
+use crate::store::journal_record;
+use crate::{CacheStore, Synthesis};
 
 /// Folds stage-transition parts into an options-trail hash. Every
 /// staged transition calls this with a distinct tag plus its options'
@@ -83,6 +85,18 @@ struct Entry {
     tick: u64,
 }
 
+/// An attached journal sink (newtype so `Inner` keeps deriving
+/// `Debug` over the un-`Debug`-able trait object).
+struct Journal {
+    store: Arc<dyn CacheStore + Send + Sync>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Journal(..)")
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<u64, Entry>,
@@ -90,10 +104,14 @@ struct Inner {
     tick: u64,
     /// `None` = unbounded; `Some(n)` evicts least-recently-used past n.
     capacity: Option<usize>,
+    /// When attached, every insert appends a durable journal record.
+    journal: Option<Journal>,
     hits: u64,
     misses: u64,
     shared_hits: u64,
     evictions: u64,
+    journal_appends: u64,
+    journal_errors: u64,
 }
 
 impl Inner {
@@ -181,6 +199,38 @@ impl SynthCache {
         self.inner.lock().unwrap().evictions
     }
 
+    /// Arms incremental persistence: from now on, every insert encodes
+    /// the new entry as a journal record and hands it to
+    /// [`CacheStore::append`] *before* the insert returns — with a
+    /// durable store (like [`FileStore`](crate::FileStore), which
+    /// fsyncs each append), a `kill -9` at any point loses no
+    /// completed synthesis. Recover the entries with
+    /// [`SynthCache::recover`]; fold the journal back into a snapshot
+    /// with [`SynthCache::compact_to`].
+    ///
+    /// An append failure never fails the insert (the synthesis result
+    /// is still correct and cached in memory); it is counted on
+    /// [`SynthCache::journal_errors`] instead.
+    pub fn attach_journal(&self, store: Arc<dyn CacheStore + Send + Sync>) {
+        self.inner.lock().unwrap().journal = Some(Journal { store });
+    }
+
+    /// Detaches the journal sink; inserts stop appending.
+    pub fn detach_journal(&self) {
+        self.inner.lock().unwrap().journal = None;
+    }
+
+    /// Cumulative journal records successfully appended.
+    pub fn journal_appends(&self) -> u64 {
+        self.inner.lock().unwrap().journal_appends
+    }
+
+    /// Cumulative journal appends that failed (the entries stayed
+    /// cached in memory but are not crash-durable).
+    pub fn journal_errors(&self) -> u64 {
+        self.inner.lock().unwrap().journal_errors
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().map.len()
@@ -232,10 +282,19 @@ impl SynthCache {
     }
 
     /// Stores a finished run under its key, evicting the least recently
-    /// used entry if the capacity bound would be exceeded.
+    /// used entry if the capacity bound would be exceeded. With a
+    /// journal attached, the entry is appended durably first — the
+    /// lock is held across the append, so the journal's record order
+    /// matches the recency-tick order.
     pub(crate) fn insert(&self, key: u64, synthesis: Synthesis) {
         let mut inner = self.inner.lock().unwrap();
         let tick = inner.next_tick();
+        if let Some(journal) = &inner.journal {
+            match journal.store.append(&journal_record(key, tick, &synthesis)) {
+                Ok(()) => inner.journal_appends += 1,
+                Err(_) => inner.journal_errors += 1,
+            }
+        }
         inner.map.insert(key, Entry { synthesis, tick });
         inner.evict_to_capacity();
     }
@@ -278,10 +337,13 @@ impl SynthCache {
                 map,
                 tick,
                 capacity: None,
+                journal: None,
                 hits: counters.0,
                 misses: counters.1,
                 shared_hits: counters.2,
                 evictions: counters.3,
+                journal_appends: 0,
+                journal_errors: 0,
             })),
         }
     }

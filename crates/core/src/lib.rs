@@ -106,7 +106,7 @@ pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
 pub use cache::SynthCache;
 pub use diag::{Diagnostics, Stage, StageReport};
 pub use pipeline::{run_cache_key, Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized};
-pub use store::{CacheStore, FileStore, MemStore};
+pub use store::{CacheStore, FileStore, MemStore, Recovery};
 
 /// Errors from the end-to-end pipeline, tagged by the failing stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -932,6 +932,167 @@ Go- Req~
         let mut trailing = bytes;
         trailing.push(0);
         assert!(SynthCache::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn journal_replay_recovers_a_crashed_cache() {
+        use std::sync::Arc;
+
+        let store = Arc::new(MemStore::new());
+        let opts = PipelineOptions::default();
+        let cache = SynthCache::new();
+        cache.attach_journal(store.clone());
+
+        // Two real executions, each journaled durably at insert time.
+        let first = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        Pipeline::from_g(TOGGLE_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&opts)
+            .unwrap();
+        assert_eq!(cache.journal_appends(), 2);
+        assert_eq!(cache.journal_errors(), 0);
+        // Simulated kill -9: the cache handle is dropped without ever
+        // writing a snapshot. The journal alone must carry both runs.
+        drop(cache);
+        assert!(store.read().unwrap().is_none(), "no snapshot expected");
+
+        let recovery = SynthCache::recover(&*store).unwrap();
+        assert_eq!(recovery.snapshot_entries, 0);
+        assert_eq!(recovery.journal_entries, 2);
+        assert_eq!(recovery.torn_bytes, 0);
+        let recovered = recovery.cache;
+        assert_eq!(recovered.len(), 2);
+        let replay = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&recovered)
+            .run(&opts)
+            .unwrap();
+        assert_eq!(replay.diagnostics().cache_hits, 1, "replay re-executed");
+        assert_eq!(
+            first.netlist().describe(),
+            replay.netlist().describe(),
+            "journaled synthesis drifted"
+        );
+
+        // Compaction folds the journal into a snapshot and clears it.
+        recovered.compact_to(&*store).unwrap();
+        assert!(store.read().unwrap().is_some());
+        assert!(store.read_journal().unwrap().is_none());
+        let recompacted = SynthCache::recover(&*store).unwrap();
+        assert_eq!(recompacted.snapshot_entries, 2);
+        assert_eq!(recompacted.journal_entries, 0);
+    }
+
+    #[test]
+    fn replay_is_idempotent_across_the_compaction_crash_window() {
+        use std::sync::Arc;
+
+        // A crash *between* the snapshot rename and the journal clear
+        // leaves the same entry in both artifacts; recovery must merge,
+        // not duplicate or fail.
+        let store = Arc::new(MemStore::new());
+        let cache = SynthCache::new();
+        cache.attach_journal(store.clone());
+        Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        cache.save_to(&*store).unwrap(); // snapshot landed, journal did not clear
+        let recovery = SynthCache::recover(&*store).unwrap();
+        assert_eq!(recovery.snapshot_entries, 1);
+        assert_eq!(recovery.journal_entries, 1);
+        assert_eq!(recovery.cache.len(), 1, "replay duplicated an entry");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_but_corruption_errors() {
+        use std::sync::Arc;
+
+        let store = Arc::new(MemStore::new());
+        let cache = SynthCache::new();
+        cache.attach_journal(store.clone());
+        Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        let record = store.read_journal().unwrap().unwrap();
+
+        // One complete record followed by a torn tail (the partial
+        // write a mid-append kill leaves): replayed and counted.
+        let torn = MemStore::new();
+        torn.append(&record).unwrap();
+        torn.append(&record[..10]).unwrap();
+        let recovery = SynthCache::recover(&torn).unwrap();
+        assert_eq!(recovery.journal_entries, 1);
+        assert_eq!(recovery.torn_bytes, 10);
+
+        // A complete record whose payload was flipped is corruption,
+        // not a torn tail: the checksum rejects it loudly.
+        let corrupt = MemStore::new();
+        let mut bytes = record.clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        corrupt.append(&bytes).unwrap();
+        let err = SynthCache::recover(&corrupt).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Foreign magic is rejected too.
+        let foreign = MemStore::new();
+        let mut bytes = record.clone();
+        bytes[0] = b'X';
+        foreign.append(&bytes).unwrap();
+        assert!(SynthCache::recover(&foreign).is_err());
+    }
+
+    #[test]
+    fn journal_append_failure_is_counted_not_fatal() {
+        use std::sync::Arc;
+
+        // A FileStore pointed into a directory that does not exist
+        // cannot append; the insert must still succeed in memory, with
+        // the failure surfaced on the error counter.
+        let missing = std::env::temp_dir()
+            .join(format!("reshuffle-no-such-dir-{}", std::process::id()))
+            .join("cache");
+        let store = FileStore::new(&missing);
+        assert!(store.write(b"snapshot").is_err(), "write path error lost");
+        let cache = SynthCache::new();
+        cache.attach_journal(Arc::new(store));
+        Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        assert_eq!(cache.len(), 1, "insert must survive a journal failure");
+        assert_eq!(cache.journal_appends(), 0);
+        assert_eq!(cache.journal_errors(), 1);
+    }
+
+    #[test]
+    fn file_store_journal_lifecycle() {
+        let path = std::env::temp_dir().join(format!(
+            "reshuffle-core-journal-{}.cache",
+            std::process::id()
+        ));
+        let store = FileStore::new(&path);
+        let _ = store.clear_journal();
+        assert!(store.read_journal().unwrap().is_none());
+        store.append(b"abc").unwrap();
+        store.append(b"def").unwrap();
+        assert!(store.journal_path().exists());
+        assert_eq!(store.read_journal().unwrap().unwrap(), b"abcdef");
+        store.clear_journal().unwrap();
+        assert!(!store.journal_path().exists());
+        assert!(store.read_journal().unwrap().is_none());
+        store.clear_journal().unwrap(); // clearing an absent journal is fine
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Replica of the cache-key option trail. `DefaultHasher` is not

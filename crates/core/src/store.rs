@@ -12,14 +12,33 @@
 //! `save → load → save` is **byte-identical** and the eviction order
 //! survives a process restart.
 //!
-//! The header pins a magic plus a format version; decoding rejects
+//! A store holds two artifacts:
+//!
+//! - the **snapshot** — one whole-cache image, replaced atomically by
+//!   [`CacheStore::write`];
+//! - the **journal** — an append-only sequence of per-entry records
+//!   ([`CacheStore::append`]), each made durable before the append
+//!   returns, so a process killed at any point loses no completed
+//!   synthesis. [`SynthCache::recover`] loads `snapshot + journal
+//!   replay`; [`SynthCache::compact_to`] folds the journal into a
+//!   fresh snapshot and clears it. Replay is idempotent (a key present
+//!   in both the snapshot and the journal resolves to the journal's
+//!   record), which is what makes the compaction crash-window safe: a
+//!   crash between the snapshot rename and the journal clear merely
+//!   replays entries the snapshot already holds.
+//!
+//! Every header pins a magic plus a format version; decoding rejects
 //! foreign or future bytes with [`io::ErrorKind::InvalidData`] instead
-//! of misreading them.
+//! of misreading them. Journal records additionally carry a checksum:
+//! a torn tail (the one partially written record a mid-append crash
+//! can leave) is detected and dropped, while corruption anywhere else
+//! is an error.
 
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use reshuffle_petri::{
     parse_g, write_g, Marking, PlaceId, Polarity, Signal, SignalEdge, SignalId, SignalKind,
@@ -32,17 +51,28 @@ use crate::{SynthCache, Synthesis};
 
 /// Magic bytes opening every snapshot: `RSHC` ("reshuffle cache").
 const MAGIC: &[u8; 4] = b"RSHC";
-/// Current snapshot format version.
+/// Magic bytes opening every journal record: `RSHJ` ("… journal").
+const JOURNAL_MAGIC: &[u8; 4] = b"RSHJ";
+/// Current snapshot/journal format version.
 const VERSION: u32 = 1;
+/// Bytes of journal-record header ahead of the payload:
+/// magic (4) + version (4) + payload length (4) + checksum (8).
+const JOURNAL_HEADER_BYTES: usize = 20;
 
-/// Where encoded [`SynthCache`] snapshots live.
+/// Where encoded [`SynthCache`] snapshots and journals live.
 ///
-/// A store holds at most one snapshot: [`CacheStore::write`] replaces
-/// it atomically, [`CacheStore::read`] returns the last one written
-/// (or `None` when nothing was ever saved). The codec itself lives in
-/// [`SynthCache::save_to`] / [`SynthCache::load_from`]; stores only
-/// move opaque bytes, so a new backend (a database blob, an object
-/// store) is one small impl away.
+/// A store holds at most one snapshot ([`CacheStore::write`] replaces
+/// it atomically, [`CacheStore::read`] returns the last one written,
+/// or `None` when nothing was ever saved) plus one append-only
+/// journal ([`CacheStore::append`] adds a durable record,
+/// [`CacheStore::read_journal`] returns everything appended since the
+/// last [`CacheStore::clear_journal`]). The codecs themselves live on
+/// [`SynthCache`] ([`save_to`](SynthCache::save_to) /
+/// [`load_from`](SynthCache::load_from) /
+/// [`recover`](SynthCache::recover) /
+/// [`compact_to`](SynthCache::compact_to)); stores only move opaque
+/// bytes, so a new backend (a database blob, an object store) is one
+/// small impl away.
 ///
 /// # Worked example
 ///
@@ -92,35 +122,93 @@ pub trait CacheStore {
     ///
     /// Propagates the backend's I/O failure.
     fn read(&self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Appends one record to the journal, durably: when this returns
+    /// `Ok`, the record survives an immediate process kill or power
+    /// loss (for [`FileStore`], the data is fsync'd before returning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure.
+    fn append(&self, record: &[u8]) -> io::Result<()>;
+
+    /// Returns every journal byte appended since the last
+    /// [`clear_journal`](CacheStore::clear_journal), or `None` when
+    /// the journal is empty or was never written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure.
+    fn read_journal(&self) -> io::Result<Option<Vec<u8>>>;
+
+    /// Discards the journal (called after its entries were compacted
+    /// into a snapshot). Clearing an absent journal is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O failure.
+    fn clear_journal(&self) -> io::Result<()>;
 }
 
-/// A [`CacheStore`] backed by one file on disk.
+/// A [`CacheStore`] backed by files on disk: the snapshot at the
+/// configured path, the journal at a `.journal` sibling.
 ///
-/// Writes go to a `.tmp` sibling first and are moved into place with
-/// an atomic rename, so a crash mid-save never corrupts the previous
-/// snapshot. A missing file reads as `None`.
+/// Snapshot writes go to a `.tmp` sibling first (written and fsync'd),
+/// are moved into place with an atomic rename, and the parent
+/// directory is fsync'd — so a crash or power loss mid-save never
+/// corrupts the previous snapshot *and* a completed save cannot
+/// vanish. Journal appends fsync the journal file before returning
+/// (plus the directory once, when the file is first created). Missing
+/// files read as `None`.
 #[derive(Debug, Clone)]
 pub struct FileStore {
     path: PathBuf,
+    /// Whether the parent directory was fsync'd since the journal file
+    /// was (re)created; shared across clones so the once-per-creation
+    /// directory sync survives handle cloning.
+    journal_dir_synced: Arc<AtomicBool>,
 }
 
 impl FileStore {
-    /// A store persisting to `path`.
+    /// A store persisting to `path` (journal at `path` with a
+    /// `.journal` extension).
     pub fn new(path: impl Into<PathBuf>) -> FileStore {
-        FileStore { path: path.into() }
+        FileStore {
+            path: path.into(),
+            journal_dir_synced: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// The snapshot path.
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The journal path: the snapshot path with a `.journal` extension.
+    pub fn journal_path(&self) -> PathBuf {
+        self.path.with_extension("journal")
+    }
+
+    /// Fsyncs the snapshot's parent directory so renames and newly
+    /// created files are themselves durable, not just their contents.
+    fn sync_dir(&self) -> io::Result<()> {
+        let dir = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        fs::File::open(dir)?.sync_all()
+    }
 }
 
 impl CacheStore for FileStore {
     fn write(&self, bytes: &[u8]) -> io::Result<()> {
         let tmp = self.path.with_extension("tmp");
-        fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, &self.path)
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, &self.path)?;
+        self.sync_dir()
     }
 
     fn read(&self) -> io::Result<Option<Vec<u8>>> {
@@ -130,12 +218,48 @@ impl CacheStore for FileStore {
             Err(e) => Err(e),
         }
     }
+
+    fn append(&self, record: &[u8]) -> io::Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.journal_path())?;
+        file.write_all(record)?;
+        file.sync_all()?;
+        if !self.journal_dir_synced.swap(true, Ordering::Relaxed) {
+            // First append since creation/clear: make the directory
+            // entry itself durable, or the fsync'd file can vanish.
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    fn read_journal(&self) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.journal_path()) {
+            Ok(bytes) if bytes.is_empty() => Ok(None),
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn clear_journal(&self) -> io::Result<()> {
+        match fs::remove_file(self.journal_path()) {
+            Ok(()) => {
+                self.journal_dir_synced.store(false, Ordering::Relaxed);
+                self.sync_dir()
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// An in-memory [`CacheStore`] for tests and examples.
 #[derive(Debug, Default)]
 pub struct MemStore {
     slot: Mutex<Option<Vec<u8>>>,
+    journal: Mutex<Vec<u8>>,
 }
 
 impl MemStore {
@@ -153,6 +277,25 @@ impl CacheStore for MemStore {
 
     fn read(&self) -> io::Result<Option<Vec<u8>>> {
         Ok(self.slot.lock().unwrap().clone())
+    }
+
+    fn append(&self, record: &[u8]) -> io::Result<()> {
+        self.journal.lock().unwrap().extend_from_slice(record);
+        Ok(())
+    }
+
+    fn read_journal(&self) -> io::Result<Option<Vec<u8>>> {
+        let journal = self.journal.lock().unwrap();
+        Ok(if journal.is_empty() {
+            None
+        } else {
+            Some(journal.clone())
+        })
+    }
+
+    fn clear_journal(&self) -> io::Result<()> {
+        self.journal.lock().unwrap().clear();
+        Ok(())
     }
 }
 
@@ -213,31 +356,186 @@ impl SynthCache {
     ///
     /// [`io::ErrorKind::InvalidData`] on any malformed byte.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<SynthCache> {
-        let mut r = Reader { buf: bytes, at: 0 };
-        let magic = r.take(4)?;
-        if magic != MAGIC {
-            return Err(bad("not a reshuffle cache snapshot (bad magic)"));
-        }
-        let version = r.u32()?;
-        if version != VERSION {
-            return Err(bad(format!(
-                "unsupported snapshot version {version} (this build reads {VERSION})"
-            )));
-        }
-        let counters = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
-        let count = r.u64()?;
-        let mut entries = Vec::new();
-        for _ in 0..count {
-            let key = r.u64()?;
-            let tick = r.u64()?;
-            let synthesis = decode_synthesis(&mut r)?;
-            entries.push((key, tick, synthesis));
-        }
-        if r.at != bytes.len() {
-            return Err(bad("trailing bytes after the last entry"));
-        }
+        let (entries, counters) = decode_snapshot(bytes)?;
         Ok(SynthCache::import(entries, counters))
     }
+
+    /// Loads `snapshot + journal replay` from `store` — the crash-safe
+    /// startup path. The snapshot's entries are loaded first, then
+    /// every journal record is replayed over them (a key present in
+    /// both resolves to the journal's record, so replay after a
+    /// crashed compaction is idempotent). A torn final record — the
+    /// one partial write a mid-append kill can leave — is detected by
+    /// its checksum/length and dropped; its byte count is reported in
+    /// [`Recovery::torn_bytes`].
+    ///
+    /// The recovered cache is unbounded and has no journal attached —
+    /// re-apply a bound with [`SynthCache::set_capacity`] and re-arm
+    /// journaling with [`SynthCache::attach_journal`].
+    ///
+    /// # Errors
+    ///
+    /// The store's I/O failure, or [`io::ErrorKind::InvalidData`] when
+    /// the snapshot or a complete journal record is corrupt.
+    pub fn recover(store: &dyn CacheStore) -> io::Result<Recovery> {
+        let (mut entries, counters) = match store.read()? {
+            None => (Vec::new(), (0, 0, 0, 0)),
+            Some(bytes) => decode_snapshot(&bytes)?,
+        };
+        let snapshot_entries = entries.len();
+        let (replayed, torn_bytes) = match store.read_journal()? {
+            None => (Vec::new(), 0),
+            Some(bytes) => decode_journal(&bytes)?,
+        };
+        let journal_entries = replayed.len();
+        entries.extend(replayed);
+        Ok(Recovery {
+            cache: SynthCache::import(entries, counters),
+            snapshot_entries,
+            journal_entries,
+            torn_bytes,
+        })
+    }
+
+    /// Compacts this cache into `store`: writes a fresh snapshot (which
+    /// by construction holds every journaled entry still resident),
+    /// then clears the journal. The snapshot replace is atomic and the
+    /// journal is cleared only *after* it lands, so a crash anywhere in
+    /// between loses nothing — [`SynthCache::recover`] simply replays
+    /// entries the new snapshot already contains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O failure.
+    pub fn compact_to(&self, store: &dyn CacheStore) -> io::Result<()> {
+        store.write(&self.to_bytes())?;
+        store.clear_journal()
+    }
+}
+
+/// What [`SynthCache::recover`] reassembled from a store.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered cache (`snapshot + journal replay`).
+    pub cache: SynthCache,
+    /// Entries loaded from the snapshot.
+    pub snapshot_entries: usize,
+    /// Journal records replayed over the snapshot.
+    pub journal_entries: usize,
+    /// Bytes of torn final journal record dropped (0 after any clean
+    /// run; nonzero only when the process died mid-append).
+    pub torn_bytes: usize,
+}
+
+/// Decoded cache entries: `(key, recency tick, synthesis)` triples.
+type Entries = Vec<(u64, u64, Synthesis)>;
+/// Lifetime counters `(hits, misses, shared_hits, evictions)`.
+type Counters = (u64, u64, u64, u64);
+
+fn decode_snapshot(bytes: &[u8]) -> io::Result<(Entries, Counters)> {
+    let mut r = Reader { buf: bytes, at: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(bad("not a reshuffle cache snapshot (bad magic)"));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(bad(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let counters = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    let count = r.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let key = r.u64()?;
+        let tick = r.u64()?;
+        let synthesis = decode_synthesis(&mut r)?;
+        entries.push((key, tick, synthesis));
+    }
+    if r.at != bytes.len() {
+        return Err(bad("trailing bytes after the last entry"));
+    }
+    Ok((entries, counters))
+}
+
+// --- journal records --------------------------------------------------
+
+/// FNV-1a over the record payload: detects a record whose header and
+/// length landed but whose payload bytes are garbage.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one self-delimiting journal record:
+/// `RSHJ · version · payload length · payload checksum · payload`,
+/// with the payload `key · tick · synthesis` in the snapshot codec.
+pub(crate) fn journal_record(key: u64, tick: u64, synthesis: &Synthesis) -> Vec<u8> {
+    let mut payload = Writer::default();
+    payload.u64(key);
+    payload.u64(tick);
+    encode_synthesis(&mut payload, synthesis);
+    let mut w = Writer::default();
+    w.bytes(JOURNAL_MAGIC);
+    w.u32(VERSION);
+    w.u32(payload.out.len() as u32);
+    w.u64(fnv1a(&payload.out));
+    w.bytes(&payload.out);
+    w.out
+}
+
+/// Decodes a journal byte stream into its `(key, tick, synthesis)`
+/// records plus the count of torn trailing bytes dropped.
+///
+/// Appends are fsync'd one record at a time, so the only partial
+/// record a crash can leave is the *last* one: a tail shorter than its
+/// own header or declared length is silently dropped (and counted),
+/// while a complete record that fails its magic, version, checksum, or
+/// payload decode is real corruption and errors out.
+pub(crate) fn decode_journal(bytes: &[u8]) -> io::Result<(Entries, usize)> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < JOURNAL_HEADER_BYTES {
+            return Ok((out, rest.len())); // torn header at the tail
+        }
+        if &rest[..4] != JOURNAL_MAGIC {
+            return Err(bad("not a reshuffle journal record (bad magic)"));
+        }
+        let version = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(bad(format!(
+                "unsupported journal version {version} (this build reads {VERSION})"
+            )));
+        }
+        let len = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(rest[12..20].try_into().unwrap());
+        let Some(payload) = rest.get(JOURNAL_HEADER_BYTES..JOURNAL_HEADER_BYTES + len) else {
+            return Ok((out, rest.len())); // torn payload at the tail
+        };
+        if fnv1a(payload) != checksum {
+            return Err(bad("journal record checksum mismatch"));
+        }
+        let mut r = Reader {
+            buf: payload,
+            at: 0,
+        };
+        let key = r.u64()?;
+        let tick = r.u64()?;
+        let synthesis = decode_synthesis(&mut r)?;
+        if r.at != payload.len() {
+            return Err(bad("trailing bytes inside a journal record"));
+        }
+        out.push((key, tick, synthesis));
+        at += JOURNAL_HEADER_BYTES + len;
+    }
+    Ok((out, 0))
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {

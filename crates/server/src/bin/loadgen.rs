@@ -5,14 +5,18 @@
 //! ```sh
 //! loadgen --requests 128 --concurrency 8 --scale 6           # self-hosted
 //! loadgen --addr 127.0.0.1:7878 --requests 64                # external
+//! loadgen --requests 64 --no-keep-alive                      # one conn/request
 //! ```
 //!
 //! Without `--addr` the driver starts an in-process server, so one
-//! command load-tests a fresh build. Exits nonzero when any request
-//! gets an unexpected status (anything except `200`, or `503` shed
-//! load, which is counted separately).
+//! command load-tests a fresh build. Each worker drives one
+//! **persistent keep-alive connection** (reconnecting when the server
+//! closes it — `Connection: close`, per-connection request cap, or a
+//! shed); `--no-keep-alive` falls back to one connection per request.
+//! Exits nonzero when any request gets an unexpected status (anything
+//! except `200`, or `503` shed load, which is counted separately).
 
-use std::io::{Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -27,6 +31,7 @@ struct Args {
     requests: usize,
     concurrency: usize,
     scale: usize,
+    keep_alive: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -35,6 +40,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         requests: 64,
         concurrency: 8,
         scale: 6,
+        keep_alive: true,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -44,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--requests" => out.requests = value()?.parse().map_err(|e| format!("{e}"))?,
             "--concurrency" => out.concurrency = value()?.parse().map_err(|e| format!("{e}"))?,
             "--scale" => out.scale = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--no-keep-alive" => out.keep_alive = false,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -53,21 +60,74 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     Ok(out)
 }
 
-/// One blocking HTTP exchange; returns (status, body).
-fn exchange(addr: &str, request: &str) -> std::io::Result<(u16, String)> {
-    let mut conn = TcpStream::connect(addr)?;
-    conn.write_all(request.as_bytes())?;
-    let mut response = String::new();
-    conn.read_to_string(&mut response)?;
-    let status = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
+/// One client end of a keep-alive connection: sends requests and reads
+/// `Content-Length`-framed responses without waiting for EOF, so the
+/// socket can carry the next request.
+struct ClientConn {
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    fn connect(addr: &str) -> io::Result<ClientConn> {
+        Ok(ClientConn {
+            reader: BufReader::new(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// One request/response exchange. Returns
+    /// `(status, body, server_closes)`.
+    fn exchange(&mut self, request: &str) -> io::Result<(u16, String, bool)> {
+        let mut stream = self.reader.get_ref();
+        stream.write_all(request.as_bytes())?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response",
+            ));
+        }
+        let status = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside response headers",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned(), close))
+    }
+}
+
+/// One exchange over a fresh short-lived connection (asks the server
+/// to close, so it also works against keep-alive servers).
+fn exchange_once(addr: &str, request: &str) -> io::Result<(u16, String)> {
+    let mut conn = ClientConn::connect(addr)?;
+    let (status, body, _) = conn.exchange(request)?;
     Ok((status, body))
 }
 
@@ -83,6 +143,81 @@ fn post_body(g: &str, reduce: bool) -> String {
          Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
+}
+
+/// Drives requests `next..total` over a persistent connection,
+/// reconnecting when the server closes it; with `keep_alive` off,
+/// every request gets a fresh connection.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    addr: &str,
+    corpus: &[String],
+    next: &AtomicUsize,
+    total: usize,
+    keep_alive: bool,
+    failures: &AtomicUsize,
+    shed: &AtomicUsize,
+    reconnects: &AtomicUsize,
+) {
+    let mut conn: Option<ClientConn> = None;
+    let mut connected_before = false;
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            return;
+        }
+        let request = &corpus[i % corpus.len()];
+        // One reconnect retry covers the benign race where the server
+        // closed an idle connection as we were writing to it.
+        let mut attempts = 0;
+        let outcome = loop {
+            attempts += 1;
+            let c = match conn.as_mut() {
+                Some(c) => c,
+                None => match ClientConn::connect(addr) {
+                    Ok(c) => {
+                        if connected_before {
+                            reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        connected_before = true;
+                        conn.insert(c)
+                    }
+                    Err(e) => break Err(e),
+                },
+            };
+            match c.exchange(request) {
+                Ok(ok) => break Ok(ok),
+                Err(e) => {
+                    conn = None;
+                    if attempts >= 2 {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        match outcome {
+            Ok((200, _, close)) => {
+                if close || !keep_alive {
+                    conn = None;
+                }
+            }
+            Ok((503, _, close)) => {
+                shed.fetch_add(1, Ordering::Relaxed);
+                if close || !keep_alive {
+                    conn = None;
+                }
+            }
+            Ok((status, body, _)) => {
+                eprintln!("request {i}: unexpected {status}: {body}");
+                failures.fetch_add(1, Ordering::Relaxed);
+                conn = None;
+            }
+            Err(e) => {
+                eprintln!("request {i}: {e}");
+                failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -127,36 +262,30 @@ fn main() -> ExitCode {
     let next = Arc::new(AtomicUsize::new(0));
     let failures = Arc::new(AtomicUsize::new(0));
     let shed = Arc::new(AtomicUsize::new(0));
+    let reconnects = Arc::new(AtomicUsize::new(0));
     let t0 = Instant::now();
     let threads: Vec<_> = (0..args.concurrency.max(1))
         .map(|_| {
-            let (corpus, next, failures, shed, addr) = (
+            let (corpus, next, failures, shed, reconnects, addr) = (
                 corpus.clone(),
                 next.clone(),
                 failures.clone(),
                 shed.clone(),
+                reconnects.clone(),
                 addr.clone(),
             );
-            let total = args.requests;
-            std::thread::spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    return;
-                }
-                match exchange(&addr, &corpus[i % corpus.len()]) {
-                    Ok((200, _)) => {}
-                    Ok((503, _)) => {
-                        shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok((status, body)) => {
-                        eprintln!("request {i}: unexpected {status}: {body}");
-                        failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        eprintln!("request {i}: {e}");
-                        failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+            let (total, keep_alive) = (args.requests, args.keep_alive);
+            std::thread::spawn(move || {
+                drive(
+                    &addr,
+                    &corpus,
+                    &next,
+                    total,
+                    keep_alive,
+                    &failures,
+                    &shed,
+                    &reconnects,
+                )
             })
         })
         .collect();
@@ -165,7 +294,7 @@ fn main() -> ExitCode {
     }
     let wall = t0.elapsed();
 
-    let stats = match exchange(&addr, "GET /stats HTTP/1.1\r\n\r\n") {
+    let stats = match exchange_once(&addr, "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n") {
         Ok((200, body)) => body,
         other => {
             eprintln!("error: GET /stats failed: {other:?}");
@@ -173,11 +302,17 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "{} requests in {:.1} ms ({:.0} req/s), {} shed",
+        "{} requests in {:.1} ms ({:.0} req/s), {} shed, {} reconnects ({})",
         args.requests,
         wall.as_secs_f64() * 1e3,
         args.requests as f64 / wall.as_secs_f64(),
         shed.load(Ordering::Relaxed),
+        reconnects.load(Ordering::Relaxed),
+        if args.keep_alive {
+            "keep-alive"
+        } else {
+            "connection-per-request"
+        },
     );
     println!("stats: {stats}");
 

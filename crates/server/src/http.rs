@@ -1,12 +1,21 @@
 //! Hand-rolled HTTP/1.1, the way the bench crate hand-rolls JSON: the
 //! build container has no network, so no hyper — a blocking
 //! request reader and response writer over [`std::net::TcpStream`] is
-//! all the service needs. One request per connection
-//! (`Connection: close`), bodies sized by `Content-Length` and bounded
-//! by the server's limit.
+//! all the service needs. Bodies are sized by `Content-Length` and
+//! bounded by the server's limit.
+//!
+//! A [`Conn`] wraps one accepted socket for its whole keep-alive
+//! lifetime: the read buffer persists across requests (so pipelined
+//! bytes are never dropped), and every read syscall is bounded by an
+//! *absolute* deadline — an idle deadline while waiting for the next
+//! request to start, then a per-request deadline across the head and
+//! body. A client trickling one byte per almost-timeout can therefore
+//! never hold a worker past the request budget: the deadline does not
+//! reset per read.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request line plus headers, defending the reader
 /// against unbounded header streams.
@@ -21,6 +30,10 @@ pub struct Request {
     pub path: String,
     /// The body, `Content-Length` bytes of it.
     pub body: Vec<u8>,
+    /// Whether the client asked for the connection to end after this
+    /// request (`Connection: close`, or HTTP/1.0 without an explicit
+    /// `keep-alive`).
+    pub close: bool,
 }
 
 /// Why a request could not be served a 200.
@@ -30,14 +43,24 @@ pub enum HttpError {
     Malformed(String),
     /// The declared body exceeds the server's limit → 413.
     BodyTooLarge,
-    /// The socket failed mid-read (peer gone, read timeout) — nothing
-    /// to respond to.
+    /// The absolute per-request deadline lapsed mid-request → 408.
+    Timeout,
+    /// The connection ended cleanly between requests: the peer closed
+    /// it, or the idle deadline lapsed before any byte of a new
+    /// request arrived. Nothing to respond to.
+    Closed,
+    /// The socket failed mid-read (peer vanished) — nothing to
+    /// respond to.
     Io(io::Error),
 }
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> HttpError {
-        HttpError::Io(e)
+        if e.kind() == io::ErrorKind::TimedOut {
+            HttpError::Timeout
+        } else {
+            HttpError::Io(e)
+        }
     }
 }
 
@@ -45,70 +68,195 @@ fn malformed(msg: impl Into<String>) -> HttpError {
     HttpError::Malformed(msg.into())
 }
 
-/// Reads one HTTP/1.1 request from `stream`, rejecting bodies larger
-/// than `max_body` bytes.
-///
-/// # Errors
-///
-/// [`HttpError::Malformed`] on protocol violations,
-/// [`HttpError::BodyTooLarge`] past the body limit, [`HttpError::Io`]
-/// when the socket dies.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut head = 0usize;
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if line.is_empty() {
-        return Err(malformed("empty request"));
+/// A [`TcpStream`] whose every read is bounded by an absolute
+/// deadline: before each syscall the socket read timeout is set to the
+/// time *remaining*, so a sequence of trickled bytes cannot stretch
+/// the total wait. Timeout-ish errors (`WouldBlock`/`TimedOut`) are
+/// normalized to [`io::ErrorKind::TimedOut`].
+#[derive(Debug)]
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let left = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|left| !left.is_zero())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "deadline lapsed"))?;
+            self.stream.set_read_timeout(Some(left))?;
+        } else {
+            self.stream.set_read_timeout(None)?;
+        }
+        match self.stream.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "deadline lapsed"))
+            }
+            other => other,
+        }
     }
-    head += line.len();
-    let mut parts = line.trim_end().split(' ');
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts
-        .next()
-        .ok_or_else(|| malformed("missing request target"))?
-        .to_string();
-    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
-    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
-        return Err(malformed("not an HTTP/1.x request line"));
-    }
-    if method.is_empty() || !path.starts_with('/') {
-        return Err(malformed("bad method or target"));
+}
+
+/// One accepted connection, held for its keep-alive lifetime.
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<DeadlineStream>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            reader: BufReader::new(DeadlineStream {
+                stream,
+                deadline: None,
+            }),
+        }
     }
 
-    let mut content_length = 0usize;
-    loop {
-        line.clear();
-        reader.read_line(&mut line)?;
-        head += line.len();
-        if head > MAX_HEAD_BYTES {
-            return Err(malformed("header section too large"));
-        }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
-            if line.is_empty() {
-                return Err(malformed("connection closed inside headers"));
+    /// The connection's local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.reader.get_ref().stream.local_addr()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.reader.get_mut().deadline = deadline;
+    }
+
+    /// Reads the next request off the connection, rejecting bodies
+    /// larger than `max_body` bytes.
+    ///
+    /// The wait for the request's *first line* is bounded by `idle`
+    /// (keep-alive connections do not park a worker forever); once it
+    /// arrives, the rest of the head plus the whole body must land
+    /// within `budget` — an absolute deadline shared by every
+    /// subsequent read.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Closed`] when the connection ended between
+    /// requests (peer EOF, or idle expiry with no bytes read),
+    /// [`HttpError::Timeout`] when a deadline lapsed mid-request,
+    /// [`HttpError::Malformed`] on protocol violations,
+    /// [`HttpError::BodyTooLarge`] past the body limit, and
+    /// [`HttpError::Io`] when the socket dies.
+    pub fn read_request(
+        &mut self,
+        max_body: usize,
+        idle: Duration,
+        budget: Duration,
+    ) -> Result<Request, HttpError> {
+        let mut line = String::new();
+        self.set_deadline(Some(Instant::now() + idle));
+        match self.reader.read_line(&mut line) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(_) => {}
+            // An idle expiry (or peer reset) before any byte of a new
+            // request is a clean end of the connection; the same error
+            // with a partial line down is a mid-request failure.
+            Err(e) if line.is_empty() => {
+                return Err(match e.kind() {
+                    io::ErrorKind::TimedOut | io::ErrorKind::ConnectionReset => HttpError::Closed,
+                    _ => HttpError::Io(e),
+                })
             }
-            break;
+            Err(e) => return Err(e.into()),
         }
-        let (name, value) = trimmed
-            .split_once(':')
-            .ok_or_else(|| malformed("header without a colon"))?;
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| malformed("unparseable Content-Length"))?;
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            return Err(malformed("chunked bodies are not supported"));
+        // The request has begun: everything else — rest of the head,
+        // whole body — shares one absolute deadline.
+        self.set_deadline(Some(Instant::now() + budget));
+
+        let mut head = line.len();
+        let mut parts = line.trim_end().split(' ');
+        let method = parts.next().unwrap_or_default().to_string();
+        let path = parts
+            .next()
+            .ok_or_else(|| malformed("missing request target"))?
+            .to_string();
+        let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+        if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+            return Err(malformed("not an HTTP/1.x request line"));
         }
+        if method.is_empty() || !path.starts_with('/') {
+            return Err(malformed("bad method or target"));
+        }
+        // HTTP/1.0 defaults to one request per connection.
+        let mut close = version == "HTTP/1.0";
+
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line)?;
+            head += line.len();
+            if head > MAX_HEAD_BYTES {
+                return Err(malformed("header section too large"));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                if line.is_empty() {
+                    return Err(malformed("connection closed inside headers"));
+                }
+                break;
+            }
+            let (name, value) = trimmed
+                .split_once(':')
+                .ok_or_else(|| malformed("header without a colon"))?;
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| malformed("unparseable Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(malformed("chunked bodies are not supported"));
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
+            }
+        }
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        self.set_deadline(None);
+        Ok(Request {
+            method,
+            path,
+            body,
+            close,
+        })
     }
-    if content_length > max_body {
-        return Err(HttpError::BodyTooLarge);
+
+    /// Writes one response on this connection, advertising
+    /// `Connection: keep-alive` unless `close` is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures (including a vanished peer —
+    /// `EPIPE` surfaces as an error because Rust ignores `SIGPIPE`).
+    pub fn write_response(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        close: bool,
+    ) -> io::Result<()> {
+        let mut stream = &self.reader.get_ref().stream;
+        write_response(&mut stream, status, content_type, body, close)
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -117,6 +265,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -126,22 +275,25 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `Connection: close` response.
+/// Writes one response to any sink (a [`Conn`] wraps this for its own
+/// stream; the acceptor uses it directly to shed load with 503).
 ///
 /// # Errors
 ///
-/// Propagates socket write failures.
+/// Propagates write failures.
 pub fn write_response(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     content_type: &str,
     body: &[u8],
+    close: bool,
 ) -> io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
+        if close { "close" } else { "keep-alive" },
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
@@ -153,6 +305,8 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
+    const LONG: Duration = Duration::from_secs(10);
+
     fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -161,8 +315,8 @@ mod tests {
             let mut s = TcpStream::connect(addr).unwrap();
             s.write_all(&raw).unwrap();
         });
-        let (mut conn, _) = listener.accept().unwrap();
-        let req = read_request(&mut conn, max_body);
+        let (conn, _) = listener.accept().unwrap();
+        let req = Conn::new(conn).read_request(max_body, LONG, LONG);
         writer.join().unwrap();
         req
     }
@@ -177,6 +331,17 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/synthesize");
         assert_eq!(req.body, b"hello");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let req = roundtrip(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 64).unwrap();
+        assert!(req.close);
+        let req = roundtrip(b"GET / HTTP/1.0\r\n\r\n", 64).unwrap();
+        assert!(req.close, "HTTP/1.0 defaults to close");
+        let req = roundtrip(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64).unwrap();
+        assert!(!req.close);
     }
 
     #[test]
@@ -193,5 +358,74 @@ mod tests {
             roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),
             Err(HttpError::BodyTooLarge)
         ));
+    }
+
+    #[test]
+    fn reads_pipelined_requests_off_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Both requests land in one burst; the persistent buffer
+            // must not drop the second one.
+            s.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        let first = conn.read_request(64, LONG, LONG).unwrap();
+        assert_eq!((first.path.as_str(), first.close), ("/a", false));
+        let second = conn.read_request(64, LONG, LONG).unwrap();
+        assert_eq!((second.path.as_str(), second.close), ("/b", true));
+        writer.join().unwrap();
+        assert!(matches!(
+            conn.read_request(64, Duration::from_millis(50), LONG),
+            Err(HttpError::Closed),
+        ));
+    }
+
+    #[test]
+    fn idle_expiry_is_a_clean_close_but_a_trickle_times_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let holder = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(stream);
+        // No bytes at all within the idle window: clean close.
+        assert!(matches!(
+            conn.read_request(64, Duration::from_millis(50), LONG),
+            Err(HttpError::Closed),
+        ));
+
+        // A request line followed by a stalled head: the per-request
+        // budget lapses mid-request — a 408-worthy Timeout, and it
+        // must lapse on the *absolute* deadline even though bytes keep
+        // arriving more often than the budget.
+        let (stream2, handle) = {
+            let mut sender = TcpStream::connect(addr).unwrap();
+            let (stream2, _) = listener.accept().unwrap();
+            let handle = std::thread::spawn(move || {
+                sender.write_all(b"GET / HTTP/1.1\r\n").unwrap();
+                for _ in 0..20 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    if sender.write_all(b"X-Trickle: a\r").is_err() {
+                        return;
+                    }
+                }
+            });
+            (stream2, handle)
+        };
+        let mut conn2 = Conn::new(stream2);
+        let t0 = Instant::now();
+        let got = conn2.read_request(64, LONG, Duration::from_millis(120));
+        assert!(matches!(got, Err(HttpError::Timeout)), "{got:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "deadline was not absolute: {:?}",
+            t0.elapsed()
+        );
+        drop(conn2);
+        handle.join().unwrap();
+        drop(holder);
     }
 }

@@ -2,26 +2,38 @@
 //! production story asks for — [`Pipeline`] behind a hand-rolled
 //! HTTP/1.1 layer on [`std::net::TcpListener`].
 //!
-//! Three pillars:
+//! Four pillars:
 //!
-//! 1. **Persistent cache** — every run goes through one shared
-//!    [`SynthCache`]; with a configured
-//!    [`cache path`](ServerConfig::with_cache_path) the cache is loaded
-//!    at startup and saved at shutdown through a
-//!    [`reshuffle::FileStore`], so restarts replay prior
-//!    traffic as O(1) hits. An optional
-//!    [`capacity`](ServerConfig::with_cache_capacity) bounds it with
-//!    LRU eviction.
-//! 2. **Batching + single-flight dedup** — connections land on a
+//! 1. **Crash-safe persistent cache** — every run goes through one
+//!    shared [`SynthCache`]; with a configured
+//!    [`cache path`](ServerConfig::with_cache_path) the cache is
+//!    recovered at startup as `snapshot + journal replay`, every newly
+//!    executed synthesis is appended to an fsync'd journal the moment
+//!    it lands, and a clean shutdown compacts the journal into a fresh
+//!    snapshot — so a `kill -9` at any point loses zero completed
+//!    syntheses. An optional
+//!    [`capacity`](ServerConfig::with_cache_capacity) bounds the cache
+//!    with LRU eviction.
+//! 2. **Keep-alive connections** — one accepted socket serves many
+//!    requests (HTTP/1.1 semantics: reuse unless `Connection: close`
+//!    or HTTP/1.0), bounded by an
+//!    [`idle deadline`](ServerConfig::with_idle_timeout) between
+//!    requests and a
+//!    [`max-requests-per-connection`](ServerConfig::with_max_requests_per_conn)
+//!    cap. Each request is read under an *absolute* deadline across
+//!    head and body, so a byte-trickling client gets a `408` instead
+//!    of holding a worker.
+//! 3. **Batching + single-flight dedup** — connections land on a
 //!    bounded accept queue drained by a worker pool sized by
 //!    [`BuildOptions::threads`]; when the queue is full the service
 //!    sheds load with `503` instead of stalling. Concurrent requests
 //!    for the same spec × options (the [`reshuffle::run_cache_key`])
 //!    coalesce into one pipeline execution whose result every waiter
 //!    shares, with a per-request timeout.
-//! 3. **Ops surface** — `GET /stats` reports request/coalescing/shed
-//!    counters, cache hit/entry/eviction counters, and accumulated
-//!    per-stage wall times as JSON.
+//! 4. **Ops surface** — `GET /stats` reports
+//!    connection/request/coalescing/shed/write-failure counters, cache
+//!    hit/entry/eviction/journal counters, and accumulated per-stage
+//!    wall times as JSON.
 //!
 //! # Endpoints
 //!
@@ -35,18 +47,18 @@
 //! `options` mirrors [`PipelineOptions`]: `"style"`
 //! (`"complex-gate"`/`"gc"`), `"expand"`/`"reduce"` (`true`, an options
 //! object, or `null`), `"csc"` (`{"max_signals", "rank_pool"}`) and
-//! `"skip_verify"`. Malformed requests get `400`, oversized bodies
-//! `413`, pipeline failures `422`, shed load `503`, and a coalesced
-//! wait past the timeout `504`.
+//! `"skip_verify"`. Malformed requests get `400`, a lapsed read
+//! deadline `408`, oversized bodies `413`, pipeline failures `422`,
+//! shed load `503`, and a coalesced wait past the timeout `504`.
 
 #![warn(missing_docs)]
 
 mod flight;
 mod http;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,7 +74,7 @@ use reshuffle_petri::parse_g;
 use reshuffle_sg::BuildOptions;
 
 pub use flight::{FlightResult, Follower, Join, LeaderGuard, SingleFlight};
-pub use http::{read_request, write_response, HttpError, Request};
+pub use http::{write_response, Conn, HttpError, Request};
 
 /// How the service binds, pools, bounds and persists.
 ///
@@ -85,7 +97,7 @@ pub use http::{read_request, write_response, HttpError, Request};
 /// let server = Server::start(cfg)?;
 ///
 /// let mut conn = std::net::TcpStream::connect(server.addr())?;
-/// conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+/// conn.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")?;
 /// let mut response = String::new();
 /// conn.read_to_string(&mut response)?;
 /// assert!(response.starts_with("HTTP/1.1 200"), "{response}");
@@ -105,9 +117,16 @@ pub struct ServerConfig {
     /// Accepted connections queued ahead of the workers; one more and
     /// the service sheds with `503`.
     pub queue_depth: usize,
-    /// Per-request budget: read timeout on the socket and the wait
-    /// bound for coalesced followers.
+    /// Per-request budget: the absolute deadline for reading one
+    /// request (head + body — a trickling client gets `408`) and the
+    /// wait bound for coalesced followers.
     pub request_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served over one connection before the server closes it
+    /// (`Connection: close` on the last response).
+    pub max_requests_per_conn: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// LRU bound on the synthesis cache (`None` = unbounded).
@@ -124,6 +143,8 @@ impl Default for ServerConfig {
             threads: BuildOptions::default().threads,
             queue_depth: 64,
             request_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 128,
             max_body_bytes: 1024 * 1024,
             cache_capacity: None,
             cache_path: None,
@@ -133,8 +154,9 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// The default configuration (ephemeral localhost port, pool sized
-    /// by available parallelism, 64-deep queue, 30 s timeout, 1 MiB
-    /// bodies, unbounded in-memory cache).
+    /// by available parallelism, 64-deep queue, 30 s request timeout,
+    /// 5 s keep-alive idle deadline, 128 requests per connection,
+    /// 1 MiB bodies, unbounded in-memory cache).
     pub fn new() -> ServerConfig {
         ServerConfig::default()
     }
@@ -163,6 +185,18 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the keep-alive idle deadline between requests.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> ServerConfig {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-connection request cap (min 1).
+    pub fn with_max_requests_per_conn(mut self, max: usize) -> ServerConfig {
+        self.max_requests_per_conn = max.max(1);
+        self
+    }
+
     /// Sets the request-body limit.
     pub fn with_max_body_bytes(mut self, bytes: usize) -> ServerConfig {
         self.max_body_bytes = bytes;
@@ -184,13 +218,16 @@ impl ServerConfig {
 
 #[derive(Debug, Default)]
 struct Stats {
+    connections: AtomicU64,
     requests: AtomicU64,
     synth_requests: AtomicU64,
     executed: AtomicU64,
     coalesced: AtomicU64,
     shed: AtomicU64,
     timeouts: AtomicU64,
+    request_timeouts: AtomicU64,
     bad_requests: AtomicU64,
+    write_errors: AtomicU64,
 }
 
 /// Accumulated wall time and run count per pipeline stage.
@@ -223,6 +260,12 @@ struct Shared {
     queue_cv: Condvar,
     stop: AtomicBool,
     shutdown: (Mutex<bool>, Condvar),
+    /// Live connections by id (a `try_clone` of each worker's socket):
+    /// shutdown half-closes their read sides so workers parked on a
+    /// keep-alive idle wait wake immediately instead of riding out the
+    /// idle deadline.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
     stats: Stats,
     stage_totals: StageTotals,
     started: Instant,
@@ -234,6 +277,12 @@ impl Shared {
         self.queue_cv.notify_all();
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(addr);
+        // Unblock workers parked reading a keep-alive connection: the
+        // read half closes (their next read sees EOF) while any
+        // in-flight response still drains down the write half.
+        for conn in self.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
         let (lock, cv) = &self.shutdown;
         *lock.lock().unwrap() = true;
         cv.notify_all();
@@ -262,15 +311,24 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, loads the cache snapshot (when configured), and spawns
-    /// the accept thread plus worker pool.
+    /// Binds, recovers the cache (snapshot + journal replay, when a
+    /// path is configured), arms the fsync'd journal so every executed
+    /// synthesis is immediately crash-durable, and spawns the accept
+    /// thread plus worker pool.
     ///
     /// # Errors
     ///
-    /// Bind failures and unreadable/corrupt cache snapshots.
+    /// Bind failures and unreadable/corrupt cache snapshots or
+    /// journals (a torn final journal record — a crash mid-append —
+    /// is recovered from, not an error).
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
         let cache = match &cfg.cache_path {
-            Some(path) => SynthCache::load_from(&FileStore::new(path))?,
+            Some(path) => {
+                let store = FileStore::new(path);
+                let recovery = SynthCache::recover(&store)?;
+                recovery.cache.attach_journal(Arc::new(store));
+                recovery.cache
+            }
             None => SynthCache::new(),
         };
         cache.set_capacity(cfg.cache_capacity);
@@ -288,6 +346,8 @@ impl Server {
             queue_cv: Condvar::new(),
             stop: AtomicBool::new(false),
             shutdown: (Mutex::new(false), Condvar::new()),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
             stats: Stats::default(),
             stage_totals: StageTotals::default(),
             started: Instant::now(),
@@ -330,13 +390,32 @@ impl Server {
         }
     }
 
-    /// Stops accepting, drains the pool, and saves the cache snapshot
-    /// (when a path is configured).
+    /// Stops accepting, drains the pool, and compacts the cache — a
+    /// fresh snapshot replacing the journal — when a path is
+    /// configured.
     ///
     /// # Errors
     ///
-    /// Snapshot write failures; the threads are already down by then.
+    /// Snapshot write failures; the threads are already down by then
+    /// (and the journal is left in place, so even a failed compaction
+    /// loses nothing).
     pub fn stop(mut self) -> io::Result<()> {
+        self.join_threads();
+        if let Some(path) = &self.shared.cfg.cache_path {
+            self.shared.cache.compact_to(&FileStore::new(path))?;
+        }
+        Ok(())
+    }
+
+    /// Tears the service down *without* the shutdown snapshot — the
+    /// crash-simulation path (the in-process analogue of `kill -9`
+    /// minus leaked threads): only the append-only journal survives,
+    /// which is exactly what [`Server::start`] recovers from.
+    pub fn abort(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
         self.shared.begin_shutdown(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -344,10 +423,6 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        if let Some(path) = &self.shared.cfg.cache_path {
-            self.shared.cache.save_to(&FileStore::new(path))?;
-        }
-        Ok(())
     }
 }
 
@@ -369,6 +444,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                 503,
                 "application/json",
                 error_body("server overloaded; retry later").as_bytes(),
+                true,
             );
         } else {
             queue.push_back(conn);
@@ -393,7 +469,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match conn {
-            Some(mut conn) => handle_connection(shared, &mut conn),
+            Some(conn) => handle_connection(shared, conn),
             None => return,
         }
     }
@@ -403,36 +479,98 @@ fn error_body(msg: &str) -> String {
     Json::obj(vec![("error", Json::Str(msg.to_string()))]).render()
 }
 
-fn handle_connection(shared: &Shared, conn: &mut TcpStream) {
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    let _ = conn.set_read_timeout(Some(shared.cfg.request_timeout));
-    let request = match read_request(conn, shared.cfg.max_body_bytes) {
-        Ok(request) => request,
-        Err(HttpError::Malformed(msg)) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let body = error_body(&format!("malformed request: {msg}"));
-            let _ = write_response(conn, 400, "application/json", body.as_bytes());
+/// Serves one accepted socket for its whole keep-alive lifetime,
+/// keeping it registered so shutdown can unpark an idle read.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().unwrap().insert(id, clone);
+    }
+    serve_connection(shared, stream);
+    shared.conns.lock().unwrap().remove(&id);
+}
+
+/// Writes one response, counting (and reporting) a vanished client as
+/// a write failure instead of a served request. Returns whether the
+/// connection is still usable.
+fn respond(shared: &Shared, conn: &mut Conn, status: u16, body: &str, close: bool) -> bool {
+    match conn.write_response(status, "application/json", body.as_bytes(), close) {
+        Ok(()) => true,
+        Err(_) => {
+            shared.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let mut conn = Conn::new(stream);
+    let max = shared.cfg.max_requests_per_conn.max(1);
+    for served in 1..=max {
+        if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        Err(HttpError::BodyTooLarge) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            let body = error_body(&format!(
-                "body exceeds the {} byte limit",
-                shared.cfg.max_body_bytes
-            ));
-            let _ = write_response(conn, 413, "application/json", body.as_bytes());
+        let request = match conn.read_request(
+            shared.cfg.max_body_bytes,
+            shared.cfg.idle_timeout,
+            shared.cfg.request_timeout,
+        ) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return, // peer done, or idle deadline
+            Err(HttpError::Timeout) => {
+                shared
+                    .stats
+                    .request_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                let body = error_body(&format!(
+                    "request not received within {:?}",
+                    shared.cfg.request_timeout
+                ));
+                respond(shared, &mut conn, 408, &body, true);
+                return;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = error_body(&format!("malformed request: {msg}"));
+                // Framing is lost after a protocol violation: close.
+                respond(shared, &mut conn, 400, &body, true);
+                return;
+            }
+            Err(HttpError::BodyTooLarge) => {
+                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = error_body(&format!(
+                    "body exceeds the {} byte limit",
+                    shared.cfg.max_body_bytes
+                ));
+                // The oversized body was never read off the socket, so
+                // the next request cannot be framed: close.
+                respond(shared, &mut conn, 413, &body, true);
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = route(shared, &request);
+        let shutdown_requested = request.method == "POST" && request.path == "/shutdown";
+        let close = request.close
+            || served == max
+            || shutdown_requested
+            || shared.stop.load(Ordering::SeqCst);
+        if !respond(shared, &mut conn, status, &body, close) {
             return;
         }
-        Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
-    };
-    let (status, body) = route(shared, &request);
-    let _ = write_response(conn, status, "application/json", body.as_bytes());
-    if request.method == "POST" && request.path == "/shutdown" {
-        // Answer first, then take the service down.
-        shared.begin_shutdown(
-            conn.local_addr()
-                .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal socket address")),
-        );
+        if shutdown_requested {
+            // Answer first, then take the service down.
+            shared.begin_shutdown(
+                conn.local_addr()
+                    .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal socket address")),
+            );
+            return;
+        }
+        if close {
+            return;
+        }
     }
 }
 
@@ -676,13 +814,16 @@ fn render_stats(shared: &Shared) -> String {
             "uptime_ms",
             Json::Num(shared.started.elapsed().as_secs_f64() * 1e3),
         ),
+        ("connections", stat(&shared.stats.connections)),
         ("requests", stat(&shared.stats.requests)),
         ("synth_requests", stat(&shared.stats.synth_requests)),
         ("executed", stat(&shared.stats.executed)),
         ("coalesced", stat(&shared.stats.coalesced)),
         ("shed", stat(&shared.stats.shed)),
         ("timeouts", stat(&shared.stats.timeouts)),
+        ("request_timeouts", stat(&shared.stats.request_timeouts)),
         ("bad_requests", stat(&shared.stats.bad_requests)),
+        ("write_errors", stat(&shared.stats.write_errors)),
         ("in_flight", Json::Num(shared.flights.in_flight() as f64)),
         (
             "cache",
@@ -696,6 +837,8 @@ fn render_stats(shared: &Shared) -> String {
                 ("misses", Json::Num(cache.misses() as f64)),
                 ("shared_hits", Json::Num(cache.shared_hits() as f64)),
                 ("evictions", Json::Num(cache.evictions() as f64)),
+                ("journal_appends", Json::Num(cache.journal_appends() as f64)),
+                ("journal_errors", Json::Num(cache.journal_errors() as f64)),
             ]),
         ),
         ("stages", stages),

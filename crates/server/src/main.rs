@@ -13,7 +13,8 @@ use reshuffle_server::{Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: reshuffle-server [--addr HOST:PORT] [--threads N] [--queue-depth N]\n\
-     \x20                       [--timeout-secs N] [--max-body-bytes N]\n\
+     \x20                       [--timeout-secs N] [--idle-timeout-secs N]\n\
+     \x20                       [--max-requests-per-conn N] [--max-body-bytes N]\n\
      \x20                       [--cache PATH] [--cache-capacity N]"
 }
 
@@ -48,6 +49,20 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                         .parse()
                         .map_err(|e| format!("--timeout-secs: {e}"))?,
                 ));
+            }
+            "--idle-timeout-secs" => {
+                cfg = cfg.with_idle_timeout(Duration::from_secs(
+                    value("seconds")?
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-secs: {e}"))?,
+                ));
+            }
+            "--max-requests-per-conn" => {
+                cfg = cfg.with_max_requests_per_conn(
+                    value("a count")?
+                        .parse()
+                        .map_err(|e| format!("--max-requests-per-conn: {e}"))?,
+                );
             }
             "--max-body-bytes" => {
                 cfg = cfg.with_max_body_bytes(

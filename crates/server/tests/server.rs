@@ -1,9 +1,10 @@
 //! End-to-end service tests over real sockets: single-flight
-//! coalescing, cache persistence across a restart, the eviction bound,
-//! the 4xx surface, and the `/stats` document (validated with the
+//! coalescing, cache persistence across a restart, journal replay
+//! after a crash, keep-alive connection reuse, the eviction bound, the
+//! 4xx surface, and the `/stats` document (validated with the
 //! hand-rolled JSON parser).
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -13,7 +14,8 @@ use reshuffle_bench::examples::{scaled_pipeline, TOGGLE_G, XYZ_G};
 use reshuffle_bench::json::{self, Json};
 use reshuffle_server::{Server, ServerConfig};
 
-/// One blocking exchange; returns (status, body).
+/// One blocking exchange over a fresh connection that asks the server
+/// to close; returns (status, body).
 fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
     let mut conn = TcpStream::connect(addr).unwrap();
     conn.write_all(raw.as_bytes()).unwrap();
@@ -28,14 +30,72 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// A persistent keep-alive client: reads `Content-Length`-framed
+/// responses (no EOF wait), so one socket carries many requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client {
+            reader: BufReader::new(TcpStream::connect(addr).unwrap()),
+        }
+    }
+
+    /// One exchange on the persistent connection; returns
+    /// (status, body, server_closes). `Err` means the server already
+    /// closed the socket.
+    fn exchange(&mut self, raw: &str) -> std::io::Result<(u16, String, bool)> {
+        self.reader.get_ref().write_all(raw.as_bytes())?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        let status = line.split(' ').nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            let header = line.trim_end_matches(['\r', '\n']);
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap();
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8(body).unwrap(), close))
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String, bool)> {
+        self.exchange(&format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    }
 }
 
 fn synth_body(g: &str) -> String {
@@ -207,6 +267,129 @@ fn bad_requests_get_4xx() {
     assert!(stat(&doc, "bad_requests") >= 6.0, "{}", doc.render());
     assert_eq!(stat(&doc, "executed"), 0.0);
     server.stop().unwrap();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let n = 5;
+    let server = Server::start(ServerConfig::new()).unwrap();
+    let addr = server.addr();
+    let body = synth_body(XYZ_G);
+    let mut client = Client::connect(addr);
+    for i in 0..n {
+        let (status, response, close) = client.post("/synthesize", &body).unwrap();
+        assert_eq!(status, 200, "request {i}: {response}");
+        assert!(!close, "request {i}: server closed a keep-alive connection");
+        let doc = json::parse(&response).unwrap();
+        assert_eq!(doc.get("cache_hit"), Some(&Json::Bool(i > 0)));
+    }
+    drop(client);
+
+    // n synthesize requests plus this /stats request, but only two
+    // accepted connections: the reused one and the /stats one.
+    let doc = stats(addr);
+    assert_eq!(stat(&doc, "synth_requests"), n as f64);
+    assert_eq!(stat(&doc, "connections"), 2.0, "{}", doc.render());
+    assert!(stat(&doc, "connections") < stat(&doc, "requests"));
+    assert_eq!(stat(&doc, "executed"), 1.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn per_connection_request_cap_closes_the_socket() {
+    let server = Server::start(ServerConfig::new().with_max_requests_per_conn(2)).unwrap();
+    let addr = server.addr();
+    let body = synth_body(XYZ_G);
+    let mut client = Client::connect(addr);
+    let (status, _, close) = client.post("/synthesize", &body).unwrap();
+    assert_eq!((status, close), (200, false));
+    let (status, _, close) = client.post("/synthesize", &body).unwrap();
+    assert_eq!(status, 200);
+    assert!(close, "cap-reaching response must announce the close");
+    // The server hung up after the cap: the next exchange sees EOF.
+    assert!(client.post("/synthesize", &body).is_err());
+    server.stop().unwrap();
+}
+
+#[test]
+fn stalled_request_times_out_with_408() {
+    let server =
+        Server::start(ServerConfig::new().with_request_timeout(Duration::from_millis(200)))
+            .unwrap();
+    let addr = server.addr();
+    // Head promises a body that never arrives: the absolute deadline
+    // fires even though the socket stays open.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /synthesize HTTP/1.1\r\nContent-Length: 5\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "expected 408, got: {response}"
+    );
+    assert!(response.contains("Connection: close"), "{response}");
+    let doc = stats(addr);
+    assert_eq!(stat(&doc, "request_timeouts"), 1.0, "{}", doc.render());
+    server.stop().unwrap();
+}
+
+#[test]
+fn journal_replay_survives_a_crash_with_zero_reexecutions() {
+    let path = temp_path("journal");
+    let journal = path.with_extension("journal");
+    let bodies = [synth_body(XYZ_G), synth_body(TOGGLE_G)];
+
+    // First server: two real executions, then a simulated kill -9 —
+    // no shutdown, no snapshot write.
+    let server = Server::start(ServerConfig::new().with_cache_path(&path)).unwrap();
+    let mut firsts = Vec::new();
+    for body in &bodies {
+        let (status, response) = post(server.addr(), "/synthesize", body);
+        assert_eq!(status, 200, "{response}");
+        firsts.push(json::parse(&response).unwrap());
+    }
+    let doc = stats(server.addr());
+    assert_eq!(cache_stat(&doc, "journal_appends"), 2.0, "{}", doc.render());
+    assert_eq!(cache_stat(&doc, "journal_errors"), 0.0);
+    assert!(journal.exists(), "journal not on disk while serving");
+    server.abort();
+    assert!(!path.exists(), "abort must not write a snapshot");
+
+    // Second server: recovery = journal replay alone. The whole corpus
+    // is 100% cache hits — zero pipeline re-executions.
+    let server = Server::start(ServerConfig::new().with_cache_path(&path)).unwrap();
+    let doc = stats(server.addr());
+    assert_eq!(cache_stat(&doc, "entries"), 2.0, "journal not replayed");
+    for (body, first) in bodies.iter().zip(&firsts) {
+        let (status, response) = post(server.addr(), "/synthesize", body);
+        assert_eq!(status, 200, "{response}");
+        let replay = json::parse(&response).unwrap();
+        assert_eq!(
+            replay.get("cache_hit"),
+            Some(&Json::Bool(true)),
+            "replay missed the journaled cache"
+        );
+        assert_eq!(
+            first.get("result").unwrap().render(),
+            replay.get("result").unwrap().render(),
+            "journaled synthesis drifted across the crash"
+        );
+    }
+    let doc = stats(server.addr());
+    assert_eq!(stat(&doc, "executed"), 0.0, "restart re-ran the pipeline");
+
+    // Clean shutdown compacts: snapshot present, journal gone.
+    server.stop().unwrap();
+    assert!(path.exists(), "compaction wrote no snapshot");
+    assert!(!journal.exists(), "compaction left the journal behind");
+
+    // Third server: runs from the compacted snapshot alone.
+    let server = Server::start(ServerConfig::new().with_cache_path(&path)).unwrap();
+    let doc = stats(server.addr());
+    assert_eq!(cache_stat(&doc, "entries"), 2.0, "snapshot not loaded");
+    server.stop().unwrap();
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
