@@ -6,7 +6,9 @@
 //! threads through to [`Synthesized`](crate::Synthesized). Cache
 //! activity of [`SynthCache`](crate::SynthCache) is counted per run in
 //! [`Diagnostics::cache_hits`] / [`Diagnostics::cache_misses`]: a run
-//! served from the cache records a hit and *no* stage timings.
+//! served from the cache records a hit plus a [`Stage::CacheHit`]
+//! pseudo-stage whose wall time is the lookup latency — the real
+//! stages did not execute, but the hit path is not free.
 
 use std::fmt;
 use std::time::Duration;
@@ -28,6 +30,10 @@ pub enum Stage {
     /// the ranked candidate selection
     /// ([`Resolved::synthesize`](crate::Resolved::synthesize)).
     Synthesize,
+    /// Pseudo-stage recorded when the run was served from the synthesis
+    /// cache: its wall time is the cache lookup latency. Makes hit-path
+    /// cost visible in `/stats` and `/metrics` instead of vanishing.
+    CacheHit,
 }
 
 impl fmt::Display for Stage {
@@ -38,6 +44,7 @@ impl fmt::Display for Stage {
             Stage::Reduce => "reduce",
             Stage::Resolve => "resolve",
             Stage::Synthesize => "synthesize",
+            Stage::CacheHit => "cache_hit",
         })
     }
 }
@@ -75,8 +82,9 @@ pub struct StageReport {
 /// Everything a pipeline run recorded about itself.
 #[derive(Debug, Clone, Default)]
 pub struct Diagnostics {
-    /// Reports of the stages that actually executed, in order. Empty
-    /// (except for parse) when the run was served from the cache.
+    /// Reports of the stages that actually executed, in order. A run
+    /// served from the cache records only parse and the
+    /// [`Stage::CacheHit`] pseudo-stage.
     pub stages: Vec<StageReport>,
     /// Synthesis-cache hits charged to this run (0 or 1).
     pub cache_hits: u64,

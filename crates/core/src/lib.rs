@@ -730,10 +730,83 @@ Go- Req~
         assert_eq!(second.diagnostics().cache_hits, 1);
         assert!(second.diagnostics().stage(Stage::Synthesize).is_none());
         assert!(second.diagnostics().stage(Stage::Expand).is_none());
+        // The hit path is not invisible: its lookup latency is recorded
+        // as the cache_hit pseudo-stage (the miss run records none).
+        assert!(second.diagnostics().stage(Stage::CacheHit).is_some());
+        assert!(first.diagnostics().stage(Stage::CacheHit).is_none());
         assert_eq!(
             first.netlist().describe(),
             second.netlist().describe(),
             "cached netlist drifted"
+        );
+    }
+
+    #[test]
+    fn traced_run_emits_stage_spans_under_one_trace_id() {
+        use reshuffle_obs::{RingSink, Sink, SinkHandle, TraceId, Tracer};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingSink::new(256));
+        let tracer = Tracer::new(2, SinkHandle::new(ring.clone() as Arc<dyn Sink>));
+        let trace = TraceId::derive(0x5eed, 17);
+        let traced = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_trace(tracer.root(trace))
+            .run(&PipelineOptions::default())
+            .unwrap();
+        let plain = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .run(&PipelineOptions::default())
+            .unwrap();
+        assert_eq!(
+            traced.netlist().describe(),
+            plain.netlist().describe(),
+            "tracing must not change the synthesis"
+        );
+
+        let lines = ring.lines();
+        let hex = trace.to_string();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(line.contains(&format!("\"trace\":\"{hex}\"")), "{line}");
+        }
+        let has = |name: &str| {
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("\"name\":\"{name}\"")))
+        };
+        for name in [
+            "stage.expand",
+            "stage.resolve",
+            "stage.synthesize",
+            "bfs.markings",
+            "bfs.encode",
+        ] {
+            assert!(has(name), "missing span {name} in {lines:#?}");
+        }
+
+        // A cache hit under tracing emits the lookup span.
+        let cache = SynthCache::new();
+        let _ = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .run(&PipelineOptions::default())
+            .unwrap();
+        let before = ring.lines().len();
+        let hit = Pipeline::from_g(XYZ_G)
+            .unwrap()
+            .with_cache(&cache)
+            .with_trace(tracer.root(TraceId::derive(0x5eed, 18)))
+            .run(&PipelineOptions::default())
+            .unwrap();
+        assert_eq!(hit.diagnostics().cache_hits, 1);
+        let lines = ring.lines();
+        assert!(lines.len() > before);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"name\":\"cache.lookup\"") && l.contains("\"hit\":1")),
+            "{lines:#?}"
         );
     }
 

@@ -19,6 +19,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use reshuffle_handshake::{expand_handshakes_stats, ExpansionOptions, HandshakeError};
+use reshuffle_obs::{FieldVal, SpanCtx};
 use reshuffle_petri::{canonical_fingerprint, parse_g, Stg};
 use reshuffle_reduce::{MoveStep, ReduceOptions};
 use reshuffle_sg::csc::analyze_csc;
@@ -141,6 +142,7 @@ impl Pipeline {
                 diag: Diagnostics::default(),
                 cache: None,
                 cand_cache: None,
+                span: SpanCtx::default(),
             },
         }
     }
@@ -166,6 +168,9 @@ struct Ctx {
     /// ranked selection (per-candidate failures are soft until then).
     selecting: bool,
     diag: Diagnostics,
+    /// Trace context: stage transitions emit `stage.*` spans under it
+    /// and state-graph builds emit BFS child spans. Disabled by default.
+    span: SpanCtx,
     cache: Option<SynthCache>,
     /// The same cache, kept for *candidate-level* sharing even when
     /// [`Parsed::run`] has already claimed `cache` for the whole-run
@@ -360,6 +365,16 @@ impl Parsed {
         self
     }
 
+    /// Attaches a trace context: every subsequent stage transition
+    /// emits a `stage.*` span under it, state-graph builds emit
+    /// `bfs.markings`/`bfs.encode` child spans, and cache consultations
+    /// emit `cache.lookup` spans. Tracing is observation only — it
+    /// never changes what the pipeline produces.
+    pub fn with_trace(mut self, span: SpanCtx) -> Parsed {
+        self.ctx.span = span;
+        self
+    }
+
     /// Certifies the specification complete and enters the expansion
     /// stage as a no-op: the only way past this point without
     /// committing expansion options.
@@ -382,6 +397,7 @@ impl Parsed {
     /// mixes exactly its own tag).
     fn complete_inner(mut self) -> Result<Expanded> {
         let t = Instant::now();
+        let sp = self.ctx.span.span("stage.expand");
         if self.stg.is_partial() {
             return Err(PipelineError::Expand(HandshakeError::NotExpanded));
         }
@@ -391,7 +407,10 @@ impl Parsed {
                 (sg, counts)
             }
             None => {
-                let (sg, stats) = build_state_graph_stats(&self.stg, &BuildOptions::default())?;
+                let (sg, stats) = build_state_graph_stats(
+                    &self.stg,
+                    &BuildOptions::default().with_span(sp.ctx()),
+                )?;
                 (sg, SgCounts::of_build(&stats))
             }
         };
@@ -401,6 +420,10 @@ impl Parsed {
         ctx.cand_hash = mix_expand(0, None);
         ctx.diag
             .record(Stage::Expand, t.elapsed(), Some(counts), Some(1), Some(0));
+        sp.end(&[
+            ("states", FieldVal::U64(counts.states.unwrap_or(0) as u64)),
+            ("arcs", FieldVal::U64(counts.arcs.unwrap_or(0) as u64)),
+        ]);
         let fp = ctx.spec_fp;
         Ok(Expanded {
             cands: vec![Ok(Candidate {
@@ -435,6 +458,7 @@ impl Parsed {
             return self.complete_inner();
         }
         let t = Instant::now();
+        let sp = self.ctx.span.span("stage.expand");
         let expansion = expand_handshakes_stats(&self.stg, opts)?;
         let enumerated = expansion.reshufflings.len();
         let pruned = expansion.stats.pruned();
@@ -474,6 +498,10 @@ impl Parsed {
             Some(enumerated),
             Some(pruned),
         );
+        sp.end(&[
+            ("candidates", FieldVal::U64(enumerated as u64)),
+            ("pruned", FieldVal::U64(pruned as u64)),
+        ]);
         Ok(Expanded { cands, ctx })
     }
 
@@ -491,12 +519,19 @@ impl Parsed {
         let cache = self.ctx.cache.take();
         let key = options_key(self.ctx.spec_fp, opts);
         if let Some(cache) = &cache {
+            let sp = self.ctx.span.span("cache.lookup");
+            let t = Instant::now();
             if let Some(synthesis) = cache.lookup(key) {
                 let mut diag = self.ctx.diag;
                 diag.cache_hits += 1;
+                // The hit path is not free: surface the lookup latency
+                // as a pseudo-stage instead of recording nothing.
+                diag.record(Stage::CacheHit, t.elapsed(), None, None, None);
+                sp.end(&[("hit", FieldVal::U64(1))]);
                 return Ok(Synthesized { synthesis, diag });
             }
             self.ctx.diag.cache_misses += 1;
+            sp.end(&[("hit", FieldVal::U64(0))]);
         }
         let expanded = match &opts.expand {
             Some(eopts) => self.expand(eopts)?,
@@ -590,6 +625,7 @@ impl Expanded {
     /// while a selection is pending).
     pub fn reduce(mut self, opts: &ReduceOptions) -> Result<Reduced> {
         let t = Instant::now();
+        let sp = self.ctx.span.span("stage.reduce");
         self.ctx.opts_hash = mix_reduce(self.ctx.opts_hash, Some(opts));
         self.ctx.cand_hash = mix_reduce(self.ctx.cand_hash, Some(opts));
         self.ctx.delays = (opts.input_delay, opts.gate_delay);
@@ -634,6 +670,10 @@ impl Expanded {
             Some(scored),
             Some(pruned),
         );
+        sp.end(&[
+            ("scored", FieldVal::U64(scored as u64)),
+            ("pruned", FieldVal::U64(pruned as u64)),
+        ]);
         Ok(Reduced {
             cands,
             ctx: self.ctx,
@@ -689,6 +729,7 @@ impl Reduced {
     /// per candidate while a selection is pending).
     pub fn resolve(mut self, opts: &CscOptions) -> Result<Resolved> {
         let t = Instant::now();
+        let sp = self.ctx.span.span("stage.resolve");
         self.ctx.opts_hash = mix_resolve(self.ctx.opts_hash, opts);
         self.ctx.cand_hash = mix_resolve(self.ctx.cand_hash, opts);
         let outcomes = stage_map(self.cands, |_, c| {
@@ -755,6 +796,7 @@ impl Reduced {
         self.ctx
             .diag
             .record(Stage::Resolve, t.elapsed(), counts, Some(tried), None);
+        sp.end(&[("tried", FieldVal::U64(tried as u64))]);
         Ok(Resolved {
             cands,
             ctx: self.ctx,
@@ -829,13 +871,21 @@ impl Resolved {
         self.ctx.cand_hash = mix_synthesize(self.ctx.cand_hash, style, verify);
         let key = mix(self.ctx.spec_fp, "key", &[self.ctx.opts_hash]);
         if let Some(cache) = &self.ctx.cache {
+            let sp = self.ctx.span.span("cache.lookup");
+            let t_lookup = Instant::now();
             if let Some(synthesis) = cache.lookup(key) {
                 let mut diag = self.ctx.diag;
                 diag.cache_hits += 1;
+                // The hit path is not free: surface the lookup latency
+                // as a pseudo-stage instead of recording nothing.
+                diag.record(Stage::CacheHit, t_lookup.elapsed(), None, None, None);
+                sp.end(&[("hit", FieldVal::U64(1))]);
                 return Ok(Synthesized { synthesis, diag });
             }
             self.ctx.diag.cache_misses += 1;
+            sp.end(&[("hit", FieldVal::U64(0))]);
         }
+        let sp = self.ctx.span.span("stage.synthesize");
         let selecting = self.ctx.selecting;
         let (input_delay, gate_delay) = self.ctx.delays;
         // With several expansion candidates in flight, each one's
@@ -933,6 +983,7 @@ impl Resolved {
             Some(ranked),
             None,
         );
+        sp.end(&[("ranked", FieldVal::U64(ranked as u64))]);
         if let Some(cache) = &ctx.cache {
             cache.insert(key, synthesis.clone());
         }

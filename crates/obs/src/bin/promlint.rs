@@ -1,0 +1,58 @@
+//! Validate a Prometheus text exposition document read from stdin.
+//!
+//! Usage: `promlint [--require FAMILY]...`
+//!
+//! Exits 0 and prints a one-line summary when the document parses and all
+//! required metric families are present; exits 1 with the reason otherwise.
+
+use std::io::Read as _;
+
+fn main() {
+    let mut required: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("promlint: --require needs a metric family name");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: promlint [--require FAMILY]... < exposition.txt");
+                return;
+            }
+            other => {
+                eprintln!("promlint: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("promlint: reading stdin: {e}");
+        std::process::exit(1);
+    }
+
+    match reshuffle_obs::validate(&text) {
+        Ok(summary) => {
+            for name in &required {
+                if !summary.has_family(name) {
+                    eprintln!("promlint: required metric family missing: {name}");
+                    std::process::exit(1);
+                }
+            }
+            println!(
+                "promlint: ok ({} families, {} samples)",
+                summary.families.len(),
+                summary.samples
+            );
+        }
+        Err(e) => {
+            eprintln!("promlint: invalid exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}

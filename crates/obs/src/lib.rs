@@ -1,0 +1,24 @@
+//! Observability primitives for the reshuffle synthesis service.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * [`span`] — hierarchical spans with monotonic timestamps and a
+//!   per-request [`TraceId`], emitted as JSON lines to a pluggable
+//!   [`Sink`]. Disabled tracing costs one branch on an `AtomicBool`.
+//! * [`hist`] — fixed log2-bucketed latency [`Histogram`]s with
+//!   per-thread shards merged on read and quantile extraction.
+//! * [`prom`] — Prometheus text exposition (0.0.4) rendering plus a
+//!   strict validating parser (also exposed as the `promlint` binary).
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prom;
+pub mod span;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use prom::{validate, PromSummary, PromWriter};
+pub use span::{
+    ActiveSpan, FieldVal, FileSink, RingSink, Sink, SinkHandle, SpanCtx, StderrSink, TraceId,
+    Tracer,
+};

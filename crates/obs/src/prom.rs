@@ -1,0 +1,534 @@
+//! Prometheus text exposition format (version 0.0.4): a writer for
+//! counters, gauges and histograms, and a strict validating parser used by
+//! tests and the `promlint` CI binary.
+//!
+//! Histograms are rendered from [`HistSnapshot`]s with `le` bounds in
+//! **seconds** (converted from the histogram's microsecond buckets), with
+//! cumulative `_bucket` counts, a `_sum` in seconds, and a `_count`, as the
+//! format requires.
+
+use crate::hist::{bucket_bound_micros, HistSnapshot, FINITE_BUCKETS};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+/// A `name="value"` label pair.
+pub type Label<'a> = (&'a str, &'a str);
+
+impl PromWriter {
+    /// Start an empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, ty: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {ty}");
+    }
+
+    fn labels(&mut self, labels: &[Label<'_>]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => self.out.push_str("\\\\"),
+                    '"' => self.out.push_str("\\\""),
+                    '\n' => self.out.push_str("\\n"),
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// One unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A counter family: one sample per label set.
+    pub fn counter_family(&mut self, name: &str, help: &str, series: &[(&[Label<'_>], u64)]) {
+        self.header(name, help, "counter");
+        for (labels, value) in series {
+            self.out.push_str(name);
+            self.labels(labels);
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// One unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A histogram family rendered from snapshots, one series per label set.
+    /// Bucket bounds and `_sum` are converted from microseconds to seconds.
+    pub fn histogram_family(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&[Label<'_>], &HistSnapshot)],
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, snap) in series {
+            let mut cumulative = 0u64;
+            for i in 0..FINITE_BUCKETS {
+                cumulative += snap.counts[i];
+                let le = bucket_bound_micros(i) as f64 / 1e6;
+                let _ = write!(self.out, "{name}_bucket");
+                let mut with_le: Vec<Label<'_>> = labels.to_vec();
+                let le_s = format!("{le}");
+                with_le.push(("le", &le_s));
+                self.labels(&with_le);
+                let _ = writeln!(self.out, " {cumulative}");
+            }
+            let _ = write!(self.out, "{name}_bucket");
+            let mut with_le: Vec<Label<'_>> = labels.to_vec();
+            with_le.push(("le", "+Inf"));
+            self.labels(&with_le);
+            let _ = writeln!(self.out, " {}", snap.count);
+            let _ = write!(self.out, "{name}_sum");
+            self.labels(labels);
+            let _ = writeln!(self.out, " {}", snap.sum_micros as f64 / 1e6);
+            let _ = write!(self.out, "{name}_count");
+            self.labels(labels);
+            let _ = writeln!(self.out, " {}", snap.count);
+        }
+    }
+
+    /// An unlabeled histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistSnapshot) {
+        self.histogram_family(name, help, &[(&[], snap)]);
+    }
+
+    /// The finished document (ends with a newline).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Summary of a successfully validated document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Families seen, in order of their `# TYPE` line: `(name, type)`.
+    pub families: Vec<(String, String)>,
+    /// Total number of sample lines.
+    pub samples: usize,
+}
+
+impl PromSummary {
+    /// Does the document define a family with this name?
+    pub fn has_family(&self, name: &str) -> bool {
+        self.families.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Strip a histogram sample suffix, returning the base family name.
+fn histogram_base(name: &str) -> Option<(&str, &str)> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return Some((base, suffix));
+        }
+    }
+    None
+}
+
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: {line:?}");
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b':')
+    {
+        i += 1;
+    }
+    let name = &line[..i];
+    if !valid_metric_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let rest = &line[i..];
+    let rest = if let Some(stripped) = rest.strip_prefix('{') {
+        let close = stripped
+            .find('}')
+            .ok_or_else(|| err("unterminated label set"))?;
+        let (body, after) = stripped.split_at(close);
+        let mut s = body;
+        while !s.is_empty() {
+            let eq = s.find('=').ok_or_else(|| err("label without ="))?;
+            let lname = &s[..eq];
+            if !valid_label_name(lname) {
+                return Err(err("invalid label name"));
+            }
+            let mut rest_v = s[eq + 1..].chars();
+            if rest_v.next() != Some('"') {
+                return Err(err("label value not quoted"));
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some(c) = rest_v.next() {
+                match c {
+                    '\\' => match rest_v.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        _ => return Err(err("bad escape in label value")),
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    c => value.push(c),
+                }
+            }
+            if !closed {
+                return Err(err("unterminated label value"));
+            }
+            labels.push((lname.to_string(), value));
+            s = rest_v.as_str();
+            if let Some(stripped_comma) = s.strip_prefix(',') {
+                s = stripped_comma;
+            } else if !s.is_empty() {
+                return Err(err("junk between labels"));
+            }
+        }
+        &after[1..]
+    } else {
+        rest
+    };
+    let rest = rest.trim_start();
+    let mut parts = rest.split_ascii_whitespace();
+    let value_s = parts.next().ok_or_else(|| err("missing sample value"))?;
+    let value = match value_s {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| err("unparseable sample value"))?,
+    };
+    if let Some(ts) = parts.next() {
+        // Optional timestamp: must be an integer (milliseconds).
+        ts.parse::<i64>()
+            .map_err(|_| err("unparseable timestamp"))?;
+    }
+    if parts.next().is_some() {
+        return Err(err("trailing junk after sample"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Validate a text exposition document against the 0.0.4 grammar, plus
+/// structural rules our scrapes rely on:
+///
+/// * every `#` line is a well-formed `HELP` or `TYPE` comment;
+/// * every sample belongs to a family declared by a preceding `# TYPE`;
+/// * no exact series (name + label set) repeats;
+/// * every histogram family has, per label set: monotone cumulative
+///   `_bucket` counts, a `+Inf` bucket, and `_sum`/`_count` samples with
+///   `_count` equal to the `+Inf` bucket.
+///
+/// Returns a [`PromSummary`] on success.
+pub fn validate(text: &str) -> Result<PromSummary, String> {
+    if text.is_empty() {
+        return Err("empty exposition document".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("document must end with a newline".into());
+    }
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut families: Vec<(String, String)> = Vec::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut samples = 0usize;
+    // histogram family -> (labels-without-le key) -> collected pieces
+    type HistGroup = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+    let mut hists: HashMap<String, BTreeMap<String, HistGroup>> = HashMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.strip_prefix(' ').unwrap_or(comment);
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_ascii_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: HELP with invalid metric name"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_ascii_whitespace();
+                let name = parts.next().unwrap_or("");
+                let ty = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: TYPE with invalid metric name"));
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown TYPE {ty:?}"));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                families.push((name.to_string(), ty.to_string()));
+            } else {
+                return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
+            }
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        samples += 1;
+        let mut sorted = sample.labels.clone();
+        sorted.sort();
+        let series_key = format!("{}|{:?}", sample.name, sorted);
+        if !seen_series.insert(series_key) {
+            return Err(format!(
+                "line {lineno}: duplicate series for {}",
+                sample.name
+            ));
+        }
+        // Resolve the family: histogram samples use suffixed names.
+        let (family, suffix) = match histogram_base(&sample.name) {
+            Some((base, suffix)) if types.get(base).map(String::as_str) == Some("histogram") => {
+                (base.to_string(), suffix)
+            }
+            _ => (sample.name.clone(), ""),
+        };
+        let Some(ty) = types.get(&family) else {
+            return Err(format!(
+                "line {lineno}: sample {} has no preceding # TYPE",
+                sample.name
+            ));
+        };
+        if ty == "histogram" {
+            if suffix.is_empty() {
+                return Err(format!(
+                    "line {lineno}: histogram family {family} sample lacks _bucket/_sum/_count suffix"
+                ));
+            }
+            let groups = hists.entry(family.clone()).or_default();
+            let mut group_labels: Vec<(String, String)> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            group_labels.sort();
+            let key = format!("{group_labels:?}");
+            let entry = groups.entry(key).or_insert((Vec::new(), None, None));
+            match suffix {
+                "_bucket" => {
+                    let le = sample
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| format!("line {lineno}: _bucket without le label"))?;
+                    let bound = if le.1 == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.1.parse::<f64>()
+                            .map_err(|_| format!("line {lineno}: unparseable le {:?}", le.1))?
+                    };
+                    entry.0.push((bound, sample.value));
+                }
+                "_sum" => entry.1 = Some(sample.value),
+                "_count" => entry.2 = Some(sample.value),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    for (family, groups) in &hists {
+        for (key, (buckets, sum, count)) in groups {
+            let mut sorted = buckets.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            if sorted.is_empty() {
+                return Err(format!("histogram {family}{key}: no buckets"));
+            }
+            if sorted.last().unwrap().0 != f64::INFINITY {
+                return Err(format!("histogram {family}{key}: missing +Inf bucket"));
+            }
+            for pair in sorted.windows(2) {
+                if pair[1].1 < pair[0].1 {
+                    return Err(format!(
+                        "histogram {family}{key}: bucket counts not cumulative"
+                    ));
+                }
+            }
+            let count = count.ok_or_else(|| format!("histogram {family}{key}: missing _count"))?;
+            if sum.is_none() {
+                return Err(format!("histogram {family}{key}: missing _sum"));
+            }
+            if sorted.last().unwrap().1 != count {
+                return Err(format!("histogram {family}{key}: +Inf bucket != _count"));
+            }
+        }
+    }
+
+    Ok(PromSummary { families, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn writer_output_validates() {
+        let h = Histogram::new();
+        for v in [3u64, 50, 900, 70_000, 200_000_000] {
+            h.record_micros(v);
+        }
+        let snap = h.snapshot();
+        let mut w = PromWriter::new();
+        w.counter("reshuffle_requests_total", "Requests accepted.", 17);
+        w.counter_family(
+            "reshuffle_responses_total",
+            "Responses by status.",
+            &[(&[("status", "200")], 15), (&[("status", "503")], 2)],
+        );
+        w.gauge("reshuffle_uptime_seconds", "Uptime.", 12.5);
+        w.histogram("reshuffle_request_seconds", "Request latency.", &snap);
+        w.histogram_family(
+            "reshuffle_stage_seconds",
+            "Stage latency.",
+            &[
+                (&[("stage", "parse")], &snap),
+                (&[("stage", "expand")], &snap),
+            ],
+        );
+        let text = w.finish();
+        let summary = validate(&text).expect("writer output must validate");
+        assert!(summary.has_family("reshuffle_request_seconds"));
+        assert!(summary.has_family("reshuffle_stage_seconds"));
+        assert_eq!(
+            summary
+                .families
+                .iter()
+                .filter(|(_, t)| t == "histogram")
+                .count(),
+            2
+        );
+        // 28 buckets + sum + count per histogram series.
+        assert!(summary.samples >= 3 * 30 + 3);
+        assert!(text.contains("reshuffle_request_seconds_bucket{le=\"+Inf\"} 5"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate("").is_err());
+        assert!(
+            validate("no_newline 1").is_err(),
+            "missing trailing newline"
+        );
+        assert!(validate("# random comment\n").is_err());
+        assert!(validate("# TYPE m sideways\n").is_err());
+        assert!(
+            validate("untyped_sample 1\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            validate("# TYPE m counter\nm{bad-label=\"x\"} 1\n").is_err(),
+            "bad label name"
+        );
+        assert!(
+            validate("# TYPE m counter\nm 1\nm 2\n").is_err(),
+            "duplicate series"
+        );
+        assert!(
+            validate("# TYPE m counter\nm not_a_number\n").is_err(),
+            "bad value"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_histograms() {
+        // Missing +Inf bucket.
+        let no_inf = "# TYPE h histogram\n\
+                      h_bucket{le=\"1\"} 1\n\
+                      h_sum 1\n\
+                      h_count 1\n";
+        assert!(validate(no_inf).is_err());
+        // Non-cumulative buckets.
+        let non_mono = "# TYPE h histogram\n\
+                        h_bucket{le=\"1\"} 5\n\
+                        h_bucket{le=\"2\"} 3\n\
+                        h_bucket{le=\"+Inf\"} 5\n\
+                        h_sum 1\n\
+                        h_count 5\n";
+        assert!(validate(non_mono).is_err());
+        // +Inf disagrees with _count.
+        let bad_count = "# TYPE h histogram\n\
+                         h_bucket{le=\"+Inf\"} 4\n\
+                         h_sum 1\n\
+                         h_count 5\n";
+        assert!(validate(bad_count).is_err());
+        // Bare family-name sample inside a histogram family.
+        let bare = "# TYPE h histogram\nh 1\n";
+        assert!(validate(bare).is_err());
+        // A well-formed minimal histogram passes.
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{le=\"0.5\"} 2\n\
+                  h_bucket{le=\"+Inf\"} 4\n\
+                  h_sum 2.25\n\
+                  h_count 4\n";
+        assert!(validate(ok).is_ok());
+    }
+
+    #[test]
+    fn label_values_escape_and_parse_back() {
+        let mut w = PromWriter::new();
+        w.counter_family(
+            "weird",
+            "Labels with escapes.",
+            &[(&[("k", "a\"b\\c\nd")], 1)],
+        );
+        let text = w.finish();
+        validate(&text).expect("escaped labels must round-trip");
+    }
+}

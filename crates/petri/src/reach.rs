@@ -61,10 +61,21 @@ impl ReachabilityGraph {
         budget: usize,
         threads: usize,
     ) -> Result<Self> {
+        Self::explore_opts(net, initial, &ExploreOptions::new(threads, budget))
+    }
+
+    /// [`ReachabilityGraph::explore_threads`] with full
+    /// [`ExploreOptions`] control — notably a trace context for
+    /// per-shard BFS spans. Tracing does not change the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReachabilityGraph::explore`].
+    pub fn explore_opts(net: &PetriNet, initial: &Marking, opts: &ExploreOptions) -> Result<Self> {
         net.check_no_source_transitions()?;
         let explored = sharded::explore(
             initial.clone(),
-            &ExploreOptions::new(threads, budget),
+            opts,
             |m: &Marking, out: &mut Vec<(TransitionId, Marking)>| {
                 for t in m.enabled_transitions(net) {
                     out.push((t, m.fire(net, t)?));

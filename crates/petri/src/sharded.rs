@@ -27,6 +27,8 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use reshuffle_obs::{FieldVal, SpanCtx};
+
 /// Number of hash shards. Fixed (rather than derived from the thread
 /// count) so the work decomposition — and with it every iteration
 /// order — is identical no matter how many workers process it.
@@ -51,6 +53,11 @@ pub struct ExploreOptions {
     /// spawned path on small graphs — the inline path must stay
     /// byte-identical either way.
     pub parallel_threshold: usize,
+    /// Trace context for per-shard `bfs.shard` spans (frontier width,
+    /// arcs produced) at verbosity level 2. Defaults to disabled, in
+    /// which case each BFS level pays a single branch. Tracing never
+    /// affects the explored graph — it is observation only.
+    pub span: SpanCtx,
 }
 
 impl ExploreOptions {
@@ -61,7 +68,15 @@ impl ExploreOptions {
             threads,
             budget,
             parallel_threshold: 0,
+            span: SpanCtx::default(),
         }
+    }
+
+    /// Attach a trace context for per-shard BFS spans.
+    #[must_use]
+    pub fn with_span(mut self, span: SpanCtx) -> ExploreOptions {
+        self.span = span;
+        self
     }
 }
 
@@ -231,6 +246,7 @@ where
     } else {
         opts.parallel_threshold
     };
+    let mut level = 0u64;
 
     loop {
         let width: usize = cores.iter().map(|c| c.frontier.len()).sum();
@@ -242,10 +258,18 @@ where
 
         // Phase A: expand every shard's frontier. Arcs are recorded as
         // (source, label, destination shard, outbox position); the
-        // discovered keys ride in per-destination outboxes.
+        // discovered keys ride in per-destination outboxes. Shards with
+        // work open a level-2 child span reporting their frontier slice.
         let succ_ref = &succ;
+        let span_ref = &opts.span;
         let expansions: Vec<Result<Expansion<K, L>, E>> =
-            per_shard_mut(workers, parallel, &mut cores, |_, core| {
+            per_shard_mut(workers, parallel, &mut cores, |s, core| {
+                let sp = if core.frontier.is_empty() {
+                    None
+                } else {
+                    Some(span_ref.span_at(2, "bfs.shard"))
+                };
+                let frontier_width = core.frontier.len();
                 let mut pending = Vec::new();
                 let mut outboxes: Vec<Vec<K>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
                 let mut buf: Vec<(L, K)> = Vec::new();
@@ -256,6 +280,14 @@ where
                         pending.push((local, label, d as u32, outboxes[d].len() as u32));
                         outboxes[d].push(key);
                     }
+                }
+                if let Some(sp) = sp {
+                    sp.end(&[
+                        ("level", FieldVal::U64(level)),
+                        ("shard", FieldVal::U64(s as u64)),
+                        ("frontier", FieldVal::U64(frontier_width as u64)),
+                        ("arcs", FieldVal::U64(pending.len() as u64)),
+                    ]);
                 }
                 Ok(Expansion { pending, outboxes })
             });
@@ -309,6 +341,7 @@ where
                 core.succs[src as usize].push((label, pack(d as usize, local)));
             }
         });
+        level += 1;
     }
 
     // Canonical renumbering: BFS from the initial key, following each
@@ -374,6 +407,7 @@ mod tests {
                 threads,
                 budget,
                 parallel_threshold,
+                span: SpanCtx::default(),
             },
             |&s, out| {
                 for b in 0..k {
@@ -458,6 +492,58 @@ mod tests {
             |_| "budget".to_string(),
         );
         assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn shard_spans_report_frontier_sizes() {
+        use reshuffle_obs::{RingSink, Sink, SinkHandle, TraceId, Tracer};
+        use std::sync::Arc;
+        let ring = Arc::new(RingSink::new(256));
+        let tracer = Tracer::new(2, SinkHandle::new(ring.clone() as Arc<dyn Sink>));
+        let trace = TraceId::derive(0xabcd, 1);
+        let opts = ExploreOptions::new(2, 1 << 20).with_span(tracer.root(trace));
+        let traced = explore(
+            0u32,
+            &opts,
+            |&s: &u32, out: &mut Vec<(u32, u32)>| {
+                for b in 0..4 {
+                    if s & (1 << b) == 0 {
+                        out.push((b, s | (1 << b)));
+                    }
+                }
+                Ok(())
+            },
+            |b| format!("budget {b}"),
+        )
+        .unwrap();
+        let plain = cube(4, 2, 1 << 20).unwrap();
+        assert_eq!(traced.keys, plain.keys, "tracing must not change the graph");
+        assert_eq!(traced.succs, plain.succs);
+        let lines = ring.lines();
+        assert!(!lines.is_empty(), "level-2 tracing emits shard spans");
+        let hex = trace.to_string();
+        for line in &lines {
+            assert!(line.contains("\"name\":\"bfs.shard\""), "{line}");
+            assert!(line.contains(&format!("\"trace\":\"{hex}\"")), "{line}");
+            assert!(line.contains("\"frontier\":"), "{line}");
+        }
+        // At level 1 the shard spans are gated off entirely.
+        let quiet = Arc::new(RingSink::new(16));
+        let t1 = Tracer::new(1, SinkHandle::new(quiet.clone() as Arc<dyn Sink>));
+        let opts = ExploreOptions::new(1, 1 << 20).with_span(t1.root(trace));
+        explore(
+            0u32,
+            &opts,
+            |&s: &u32, out: &mut Vec<(u32, u32)>| {
+                if s < 3 {
+                    out.push((0, s + 1));
+                }
+                Ok(())
+            },
+            |b| format!("budget {b}"),
+        )
+        .unwrap();
+        assert!(quiet.lines().is_empty());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Load driver for `reshuffle-server`: replay corpus plus
-//! `scaled_pipeline(n)` traffic at a chosen concurrency and report the
-//! service's `/stats`.
+//! `scaled_pipeline(n)` traffic at a chosen concurrency, with
+//! client-side latency histograms per response phase and a `/metrics`
+//! scrape validated against the Prometheus text grammar.
 //!
 //! ```sh
 //! loadgen --requests 128 --concurrency 8 --scale 6           # self-hosted
 //! loadgen --addr 127.0.0.1:7878 --requests 64                # external
 //! loadgen --requests 64 --no-keep-alive                      # one conn/request
+//! loadgen --json --baseline                                  # stable JSON report
 //! ```
 //!
 //! Without `--addr` the driver starts an in-process server, so one
@@ -13,8 +15,23 @@
 //! **persistent keep-alive connection** (reconnecting when the server
 //! closes it — `Connection: close`, per-connection request cap, or a
 //! shed); `--no-keep-alive` falls back to one connection per request.
-//! Exits nonzero when any request gets an unexpected status (anything
-//! except `200`, or `503` shed load, which is counted separately).
+//!
+//! Every response is classified into a phase — `executed` (the request
+//! ran the pipeline), `cache_hit`, `coalesced` (served by another
+//! request's in-flight run), or `shed` (503) — and its latency recorded
+//! in a per-phase histogram; the text report prints p50/p95/p99/max per
+//! phase. Failures are split into **connection errors** (connect or
+//! socket failures after the one reconnect retry) and **HTTP errors**
+//! (unexpected statuses), reported and counted separately.
+//!
+//! `--json` emits the report as JSON. `--baseline` additionally makes
+//! it machine-stable for committing and diffing in CI: wall-clock
+//! fields are zeroed and the scheduling-dependent `cache_hit` /
+//! `coalesced` split is merged into one `cached` phase (their *sum* is
+//! deterministic; which side of the race each request lands on is not).
+//!
+//! Exits nonzero on any connection error, HTTP error, or an invalid
+//! `/metrics` document.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -24,6 +41,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use reshuffle_bench::examples::{self, scaled_pipeline};
+use reshuffle_bench::json::Json;
+use reshuffle_obs::{validate, HistSnapshot, Histogram};
 use reshuffle_server::{Server, ServerConfig};
 
 struct Args {
@@ -32,6 +51,8 @@ struct Args {
     concurrency: usize,
     scale: usize,
     keep_alive: bool,
+    json: bool,
+    baseline: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -41,6 +62,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         concurrency: 8,
         scale: 6,
         keep_alive: true,
+        json: false,
+        baseline: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -51,6 +74,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--concurrency" => out.concurrency = value()?.parse().map_err(|e| format!("{e}"))?,
             "--scale" => out.scale = value()?.parse().map_err(|e| format!("{e}"))?,
             "--no-keep-alive" => out.keep_alive = false,
+            "--json" => out.json = true,
+            "--baseline" => out.baseline = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -58,6 +83,28 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         return Err("--scale must be in 1..=31".into());
     }
     Ok(out)
+}
+
+/// Response phases the driver tells apart (classified from status and
+/// the response body's `cache_hit`/`coalesced` flags).
+const PHASES: usize = 4;
+const PHASE_NAMES: [&str; PHASES] = ["executed", "cache_hit", "coalesced", "shed"];
+const EXECUTED: usize = 0;
+const CACHE_HIT: usize = 1;
+const COALESCED: usize = 2;
+const SHED: usize = 3;
+
+/// Everything the worker threads count and measure, shared by `Arc`.
+#[derive(Default)]
+struct Totals {
+    next: AtomicUsize,
+    /// Connect/socket failures (after the one reconnect retry).
+    conn_errors: AtomicUsize,
+    /// Responses with an unexpected HTTP status.
+    http_errors: AtomicUsize,
+    reconnects: AtomicUsize,
+    /// Client-observed latency per phase.
+    phases: [Histogram; PHASES],
 }
 
 /// One client end of a keep-alive connection: sends requests and reads
@@ -132,7 +179,6 @@ fn exchange_once(addr: &str, request: &str) -> io::Result<(u16, String)> {
 }
 
 fn post_body(g: &str, reduce: bool) -> String {
-    use reshuffle_bench::json::Json;
     let mut members = vec![("g", Json::Str(g.to_string()))];
     if reduce {
         members.push(("options", Json::obj(vec![("reduce", Json::obj(vec![]))])));
@@ -145,28 +191,31 @@ fn post_body(g: &str, reduce: bool) -> String {
     )
 }
 
+/// Which phase a 200 response belongs to, from the flags the server
+/// prefixes every `/synthesize` payload with.
+fn classify_ok(body: &str) -> usize {
+    if body.starts_with("{\"cache_hit\":true") {
+        CACHE_HIT
+    } else if body.contains("\"coalesced\":true") {
+        COALESCED
+    } else {
+        EXECUTED
+    }
+}
+
 /// Drives requests `next..total` over a persistent connection,
 /// reconnecting when the server closes it; with `keep_alive` off,
 /// every request gets a fresh connection.
-#[allow(clippy::too_many_arguments)]
-fn drive(
-    addr: &str,
-    corpus: &[String],
-    next: &AtomicUsize,
-    total: usize,
-    keep_alive: bool,
-    failures: &AtomicUsize,
-    shed: &AtomicUsize,
-    reconnects: &AtomicUsize,
-) {
+fn drive(addr: &str, corpus: &[String], totals: &Totals, total: usize, keep_alive: bool) {
     let mut conn: Option<ClientConn> = None;
     let mut connected_before = false;
     loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
+        let i = totals.next.fetch_add(1, Ordering::Relaxed);
         if i >= total {
             return;
         }
         let request = &corpus[i % corpus.len()];
+        let t0 = Instant::now();
         // One reconnect retry covers the benign race where the server
         // closed an idle connection as we were writing to it.
         let mut attempts = 0;
@@ -177,7 +226,7 @@ fn drive(
                 None => match ClientConn::connect(addr) {
                     Ok(c) => {
                         if connected_before {
-                            reconnects.fetch_add(1, Ordering::Relaxed);
+                            totals.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                         connected_before = true;
                         conn.insert(c)
@@ -195,29 +244,44 @@ fn drive(
                 }
             }
         };
+        let elapsed = t0.elapsed();
         match outcome {
-            Ok((200, _, close)) => {
+            Ok((200, body, close)) => {
+                totals.phases[classify_ok(&body)].record(elapsed);
                 if close || !keep_alive {
                     conn = None;
                 }
             }
             Ok((503, _, close)) => {
-                shed.fetch_add(1, Ordering::Relaxed);
+                totals.phases[SHED].record(elapsed);
                 if close || !keep_alive {
                     conn = None;
                 }
             }
             Ok((status, body, _)) => {
                 eprintln!("request {i}: unexpected {status}: {body}");
-                failures.fetch_add(1, Ordering::Relaxed);
+                totals.http_errors.fetch_add(1, Ordering::Relaxed);
                 conn = None;
             }
             Err(e) => {
-                eprintln!("request {i}: {e}");
-                failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!("request {i}: connection error: {e}");
+                totals.conn_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
+}
+
+/// One phase's report row: its count plus client-side percentiles.
+fn phase_json(name: &str, snap: &HistSnapshot, baseline: bool) -> Json {
+    let us = |v: u64| Json::Num(if baseline { 0.0 } else { v as f64 });
+    Json::obj(vec![
+        ("phase", Json::Str(name.to_string())),
+        ("count", Json::Num(snap.count as f64)),
+        ("p50_us", us(snap.quantile(0.50))),
+        ("p95_us", us(snap.quantile(0.95))),
+        ("p99_us", us(snap.quantile(0.99))),
+        ("max_us", us(snap.max_micros)),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -259,34 +323,13 @@ fn main() -> ExitCode {
     corpus.push(post_body(&scaled_pipeline(args.scale), false));
     let corpus = Arc::new(corpus);
 
-    let next = Arc::new(AtomicUsize::new(0));
-    let failures = Arc::new(AtomicUsize::new(0));
-    let shed = Arc::new(AtomicUsize::new(0));
-    let reconnects = Arc::new(AtomicUsize::new(0));
+    let totals = Arc::new(Totals::default());
     let t0 = Instant::now();
     let threads: Vec<_> = (0..args.concurrency.max(1))
         .map(|_| {
-            let (corpus, next, failures, shed, reconnects, addr) = (
-                corpus.clone(),
-                next.clone(),
-                failures.clone(),
-                shed.clone(),
-                reconnects.clone(),
-                addr.clone(),
-            );
+            let (corpus, totals, addr) = (corpus.clone(), totals.clone(), addr.clone());
             let (total, keep_alive) = (args.requests, args.keep_alive);
-            std::thread::spawn(move || {
-                drive(
-                    &addr,
-                    &corpus,
-                    &next,
-                    total,
-                    keep_alive,
-                    &failures,
-                    &shed,
-                    &reconnects,
-                )
-            })
+            std::thread::spawn(move || drive(&addr, &corpus, &totals, total, keep_alive))
         })
         .collect();
     for t in threads {
@@ -301,20 +344,105 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "{} requests in {:.1} ms ({:.0} req/s), {} shed, {} reconnects ({})",
-        args.requests,
-        wall.as_secs_f64() * 1e3,
-        args.requests as f64 / wall.as_secs_f64(),
-        shed.load(Ordering::Relaxed),
-        reconnects.load(Ordering::Relaxed),
-        if args.keep_alive {
-            "keep-alive"
+    // Scrape `/metrics` and hold it to the Prometheus text grammar —
+    // every loadgen run doubles as an exposition-format check.
+    let metrics_ok =
+        match exchange_once(&addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n") {
+            Ok((200, body)) => match validate(&body) {
+                Ok(_) => true,
+                Err(e) => {
+                    eprintln!("error: /metrics failed validation: {e}");
+                    false
+                }
+            },
+            other => {
+                eprintln!("error: GET /metrics failed: {other:?}");
+                false
+            }
+        };
+
+    let snaps: Vec<HistSnapshot> = totals.phases.iter().map(Histogram::snapshot).collect();
+    let ok: u64 = snaps[..SHED].iter().map(|s| s.count).sum();
+    let shed = snaps[SHED].count;
+    let conn_errors = totals.conn_errors.load(Ordering::Relaxed);
+    let http_errors = totals.http_errors.load(Ordering::Relaxed);
+
+    if args.json {
+        // `--baseline` keeps only machine-stable fields: wall-clock
+        // values zero out, and cache_hit/coalesced — whose split is a
+        // scheduling race — merge into one `cached` phase.
+        let phases = if args.baseline {
+            let mut cached = snaps[CACHE_HIT].clone();
+            cached.merge(&snaps[COALESCED]);
+            vec![
+                phase_json("executed", &snaps[EXECUTED], true),
+                phase_json("cached", &cached, true),
+                phase_json("shed", &snaps[SHED], true),
+            ]
         } else {
-            "connection-per-request"
-        },
-    );
-    println!("stats: {stats}");
+            PHASE_NAMES
+                .iter()
+                .zip(&snaps)
+                .map(|(name, snap)| phase_json(name, snap, false))
+                .collect()
+        };
+        let report = Json::obj(vec![
+            ("requests", Json::Num(args.requests as f64)),
+            ("concurrency", Json::Num(args.concurrency as f64)),
+            ("scale", Json::Num(args.scale as f64)),
+            ("keep_alive", Json::Bool(args.keep_alive)),
+            (
+                "wall_ms",
+                Json::Num(if args.baseline {
+                    0.0
+                } else {
+                    (wall.as_secs_f64() * 1e3).round()
+                }),
+            ),
+            ("ok", Json::Num(ok as f64)),
+            ("shed", Json::Num(shed as f64)),
+            (
+                "reconnects",
+                Json::Num(if args.baseline {
+                    0.0
+                } else {
+                    totals.reconnects.load(Ordering::Relaxed) as f64
+                }),
+            ),
+            ("conn_errors", Json::Num(conn_errors as f64)),
+            ("http_errors", Json::Num(http_errors as f64)),
+            ("phases", Json::Arr(phases)),
+        ]);
+        println!("{}", report.render());
+    } else {
+        println!(
+            "{} requests in {:.1} ms ({:.0} req/s), {} shed, {} reconnects ({})",
+            args.requests,
+            wall.as_secs_f64() * 1e3,
+            args.requests as f64 / wall.as_secs_f64(),
+            shed,
+            totals.reconnects.load(Ordering::Relaxed),
+            if args.keep_alive {
+                "keep-alive"
+            } else {
+                "connection-per-request"
+            },
+        );
+        for (name, snap) in PHASE_NAMES.iter().zip(&snaps) {
+            if snap.count == 0 {
+                continue;
+            }
+            println!(
+                "{name:<10} {:>5} requests  p50 {:>8} µs  p95 {:>8} µs  p99 {:>8} µs  max {:>8} µs",
+                snap.count,
+                snap.quantile(0.50),
+                snap.quantile(0.95),
+                snap.quantile(0.99),
+                snap.max_micros,
+            );
+        }
+        println!("stats: {stats}");
+    }
 
     if let Some(server) = own {
         if let Err(e) = server.stop() {
@@ -322,11 +450,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if failures.load(Ordering::Relaxed) > 0 {
-        eprintln!(
-            "error: {} failed requests",
-            failures.load(Ordering::Relaxed)
-        );
+    if conn_errors > 0 || http_errors > 0 {
+        eprintln!("error: {conn_errors} connection errors, {http_errors} HTTP errors");
+        return ExitCode::FAILURE;
+    }
+    if !metrics_ok {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

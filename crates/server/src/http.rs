@@ -34,6 +34,10 @@ pub struct Request {
     /// request (`Connection: close`, or HTTP/1.0 without an explicit
     /// `keep-alive`).
     pub close: bool,
+    /// The `X-Trace-Id` request header, verbatim, when the client sent
+    /// one — callers decide whether it parses as a trace id worth
+    /// propagating.
+    pub trace_id: Option<String>,
 }
 
 /// Why a request could not be served a 200.
@@ -191,6 +195,7 @@ impl Conn {
         let mut close = version == "HTTP/1.0";
 
         let mut content_length = 0usize;
+        let mut trace_id = None;
         loop {
             line.clear();
             self.reader.read_line(&mut line)?;
@@ -224,6 +229,8 @@ impl Conn {
                         close = false;
                     }
                 }
+            } else if name.eq_ignore_ascii_case("x-trace-id") {
+                trace_id = Some(value.to_string());
             }
         }
         if content_length > max_body {
@@ -237,6 +244,7 @@ impl Conn {
             path,
             body,
             close,
+            trace_id,
         })
     }
 
@@ -254,8 +262,25 @@ impl Conn {
         body: &[u8],
         close: bool,
     ) -> io::Result<()> {
+        self.write_response_with(status, content_type, &[], body, close)
+    }
+
+    /// Like [`Conn::write_response`], with extra response headers
+    /// (`(name, value)` pairs, e.g. `X-Trace-Id`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_response_with(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        extra: &[(&str, &str)],
+        body: &[u8],
+        close: bool,
+    ) -> io::Result<()> {
         let mut stream = &self.reader.get_ref().stream;
-        write_response(&mut stream, status, content_type, body, close)
+        write_response_with(&mut stream, status, content_type, extra, body, close)
     }
 }
 
@@ -288,13 +313,35 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
-    let head = format!(
+    write_response_with(stream, status, content_type, &[], body, close)
+}
+
+/// [`write_response`] with extra response headers appended to the
+/// standard set.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in extra {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -342,6 +389,28 @@ mod tests {
         assert!(req.close, "HTTP/1.0 defaults to close");
         let req = roundtrip(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64).unwrap();
         assert!(!req.close);
+    }
+
+    #[test]
+    fn captures_x_trace_id_and_writes_extra_headers() {
+        let req = roundtrip(b"GET / HTTP/1.1\r\nX-Trace-Id: abc123\r\n\r\n", 64).unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("abc123"));
+        let req = roundtrip(b"GET / HTTP/1.1\r\n\r\n", 64).unwrap();
+        assert!(req.trace_id.is_none());
+
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "text/plain",
+            &[("X-Trace-Id", "deadbeef")],
+            b"ok",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nX-Trace-Id: deadbeef\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok"), "{text}");
     }
 
     #[test]

@@ -33,7 +33,16 @@
 //! 4. **Ops surface** — `GET /stats` reports
 //!    connection/request/coalescing/shed/write-failure counters, cache
 //!    hit/entry/eviction/journal counters, and accumulated per-stage
-//!    wall times as JSON.
+//!    wall times as JSON; `GET /metrics` serves the same counters plus
+//!    log-bucketed latency histograms (request service time,
+//!    accept-queue wait, coalesced-follower wait, per-stage wall time)
+//!    in Prometheus text exposition format. Every response echoes an
+//!    `X-Trace-Id` header — derived per request from the run cache key
+//!    plus a nonce, or propagated verbatim from a parseable client
+//!    `X-Trace-Id` — and with a
+//!    [`trace level`](ServerConfig::with_trace_level) above zero the
+//!    request, its pipeline stages and (at level 2) the per-shard BFS
+//!    work are emitted as JSON span lines sharing that id.
 //!
 //! # Endpoints
 //!
@@ -41,6 +50,7 @@
 //! |---|---|---|---|
 //! | `POST` | `/synthesize` | `{"g": "<.g text>", "options": {…}}` | `{"cache_hit": b, "coalesced": b, "result": {…}}` |
 //! | `GET`  | `/stats` | — | counters + stage timings |
+//! | `GET`  | `/metrics` | — | Prometheus text exposition (0.0.4) |
 //! | `GET`  | `/healthz` | — | `ok` |
 //! | `POST` | `/shutdown` | — | `ok`, then the server drains and exits |
 //!
@@ -70,11 +80,13 @@ use reshuffle::{
     ReduceOptions, Stage, SynthCache,
 };
 use reshuffle_bench::json::{self, Json};
+use reshuffle_obs::{FieldVal, HistSnapshot, Histogram, PromWriter, Tracer};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::BuildOptions;
 
 pub use flight::{FlightResult, Follower, Join, LeaderGuard, SingleFlight};
-pub use http::{write_response, Conn, HttpError, Request};
+pub use http::{write_response, write_response_with, Conn, HttpError, Request};
+pub use reshuffle_obs::{RingSink, SinkHandle, TraceId};
 
 /// How the service binds, pools, bounds and persists.
 ///
@@ -134,6 +146,13 @@ pub struct ServerConfig {
     /// Snapshot file the cache is loaded from at startup and saved to
     /// at shutdown (`None` = in-memory only).
     pub cache_path: Option<PathBuf>,
+    /// Trace verbosity: `0` disables tracing (one relaxed atomic load
+    /// per would-be span), `1` traces requests and pipeline stages,
+    /// `2` additionally traces per-shard BFS work. Defaults to the
+    /// `RESHUFFLE_TRACE` environment variable, or `0`.
+    pub trace_level: u8,
+    /// Where span JSON lines go when tracing is on (`None` = stderr).
+    pub trace_sink: Option<SinkHandle>,
 }
 
 impl Default for ServerConfig {
@@ -148,6 +167,11 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             cache_capacity: None,
             cache_path: None,
+            trace_level: std::env::var("RESHUFFLE_TRACE")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0),
+            trace_sink: None,
         }
     }
 }
@@ -214,6 +238,19 @@ impl ServerConfig {
         self.cache_path = Some(path.into());
         self
     }
+
+    /// Sets the trace verbosity (`0` off, `1` requests + stages, `2`
+    /// also per-shard BFS).
+    pub fn with_trace_level(mut self, level: u8) -> ServerConfig {
+        self.trace_level = level;
+        self
+    }
+
+    /// Routes span JSON lines to `sink` instead of stderr.
+    pub fn with_trace_sink(mut self, sink: SinkHandle) -> ServerConfig {
+        self.trace_sink = Some(sink);
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -230,10 +267,14 @@ struct Stats {
     write_errors: AtomicU64,
 }
 
+/// Number of reportable pipeline stages (the five real stages plus the
+/// `cache_hit` pseudo-stage).
+const NUM_STAGES: usize = 6;
+
 /// Accumulated wall time and run count per pipeline stage.
 #[derive(Debug, Default)]
 struct StageTotals {
-    totals: Mutex<[(u64, Duration); 5]>,
+    totals: Mutex<[(u64, Duration); NUM_STAGES]>,
 }
 
 fn stage_index(stage: Stage) -> usize {
@@ -243,10 +284,45 @@ fn stage_index(stage: Stage) -> usize {
         Stage::Reduce => 2,
         Stage::Resolve => 3,
         Stage::Synthesize => 4,
+        Stage::CacheHit => 5,
     }
 }
 
-const STAGE_NAMES: [&str; 5] = ["parse", "expand", "reduce", "resolve", "synthesize"];
+const STAGE_NAMES: [&str; NUM_STAGES] = [
+    "parse",
+    "expand",
+    "reduce",
+    "resolve",
+    "synthesize",
+    "cache_hit",
+];
+
+/// Latency histograms behind `GET /metrics`. Recording is lock-free
+/// (sharded atomics per histogram); `/metrics` merges the shards into
+/// snapshots on read.
+struct Metrics {
+    /// Whole-request service time: request parsed off the socket to
+    /// response written (or write failure).
+    request: Histogram,
+    /// Accepted-connection wait from accept-queue enqueue to worker
+    /// pickup — the queueing delay the shed bound protects.
+    queue_wait: Histogram,
+    /// Coalesced-follower wait on the in-flight leader's publication.
+    flight_wait: Histogram,
+    /// Per-stage pipeline wall time, indexed by [`stage_index`].
+    stages: [Histogram; NUM_STAGES],
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            request: Histogram::new(),
+            queue_wait: Histogram::new(),
+            flight_wait: Histogram::new(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+}
 
 /// `Ok(stable result JSON)` or `Err((status, error message))` — what a
 /// flight leader publishes to its followers.
@@ -256,7 +332,9 @@ struct Shared {
     cfg: ServerConfig,
     cache: SynthCache,
     flights: SingleFlight<SynthOutcome>,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted sockets waiting for a worker, each stamped with its
+    /// enqueue instant so pickup records the queue-wait histogram.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     queue_cv: Condvar,
     stop: AtomicBool,
     shutdown: (Mutex<bool>, Condvar),
@@ -266,8 +344,13 @@ struct Shared {
     /// idle deadline.
     conns: Mutex<HashMap<u64, TcpStream>>,
     conn_seq: AtomicU64,
+    /// Per-request nonce feeding [`TraceId::derive`], so concurrent
+    /// requests for the same spec stay distinguishable.
+    req_seq: AtomicU64,
     stats: Stats,
     stage_totals: StageTotals,
+    metrics: Metrics,
+    tracer: Tracer,
     started: Instant,
 }
 
@@ -291,9 +374,11 @@ impl Shared {
     fn accumulate_stages(&self, diag: &reshuffle::Diagnostics) {
         let mut totals = self.stage_totals.totals.lock().unwrap();
         for report in &diag.stages {
-            let slot = &mut totals[stage_index(report.stage)];
+            let i = stage_index(report.stage);
+            let slot = &mut totals[i];
             slot.0 += 1;
             slot.1 += report.wall;
+            self.metrics.stages[i].record(report.wall);
         }
     }
 }
@@ -338,6 +423,10 @@ impl Server {
             0 => std::thread::available_parallelism().map_or(2, usize::from),
             n => n,
         };
+        let tracer = Tracer::new(
+            cfg.trace_level,
+            cfg.trace_sink.clone().unwrap_or_else(SinkHandle::stderr),
+        );
         let shared = Arc::new(Shared {
             cfg,
             cache,
@@ -348,8 +437,11 @@ impl Server {
             shutdown: (Mutex::new(false), Condvar::new()),
             conns: Mutex::new(HashMap::new()),
             conn_seq: AtomicU64::new(0),
+            req_seq: AtomicU64::new(0),
             stats: Stats::default(),
             stage_totals: StageTotals::default(),
+            metrics: Metrics::new(),
+            tracer,
             started: Instant::now(),
         });
 
@@ -438,16 +530,18 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         if queue.len() >= shared.cfg.queue_depth {
             drop(queue);
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let trace = TraceId::derive(0, shared.req_seq.fetch_add(1, Ordering::Relaxed));
             let mut conn = conn;
-            let _ = write_response(
+            let _ = write_response_with(
                 &mut conn,
                 503,
                 "application/json",
+                &[("X-Trace-Id", &trace.to_string())],
                 error_body("server overloaded; retry later").as_bytes(),
                 true,
             );
         } else {
-            queue.push_back(conn);
+            queue.push_back((conn, Instant::now()));
             drop(queue);
             shared.queue_cv.notify_one();
         }
@@ -469,7 +563,10 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match conn {
-            Some(conn) => handle_connection(shared, conn),
+            Some((conn, enqueued)) => {
+                shared.metrics.queue_wait.record(enqueued.elapsed());
+                handle_connection(shared, conn);
+            }
             None => return,
         }
     }
@@ -491,11 +588,38 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.conns.lock().unwrap().remove(&id);
 }
 
+/// One routed response: status, payload, its content type, and the
+/// trace id to echo back as `X-Trace-Id`.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    trace: TraceId,
+}
+
+impl Response {
+    fn json(status: u16, body: String, trace: TraceId) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            trace,
+        }
+    }
+}
+
 /// Writes one response, counting (and reporting) a vanished client as
 /// a write failure instead of a served request. Returns whether the
 /// connection is still usable.
-fn respond(shared: &Shared, conn: &mut Conn, status: u16, body: &str, close: bool) -> bool {
-    match conn.write_response(status, "application/json", body.as_bytes(), close) {
+fn respond(shared: &Shared, conn: &mut Conn, response: &Response, close: bool) -> bool {
+    let written = conn.write_response_with(
+        response.status,
+        response.content_type,
+        &[("X-Trace-Id", &response.trace.to_string())],
+        response.body.as_bytes(),
+        close,
+    );
+    match written {
         Ok(()) => true,
         Err(_) => {
             shared.stats.write_errors.fetch_add(1, Ordering::Relaxed);
@@ -511,6 +635,10 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        let error = |status: u16, msg: &str| {
+            let trace = TraceId::derive(0, shared.req_seq.fetch_add(1, Ordering::Relaxed));
+            Response::json(status, error_body(msg), trace)
+        };
         let request = match conn.read_request(
             shared.cfg.max_body_bytes,
             shared.cfg.idle_timeout,
@@ -523,41 +651,41 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     .stats
                     .request_timeouts
                     .fetch_add(1, Ordering::Relaxed);
-                let body = error_body(&format!(
+                let msg = format!(
                     "request not received within {:?}",
                     shared.cfg.request_timeout
-                ));
-                respond(shared, &mut conn, 408, &body, true);
+                );
+                respond(shared, &mut conn, &error(408, &msg), true);
                 return;
             }
             Err(HttpError::Malformed(msg)) => {
                 shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let body = error_body(&format!("malformed request: {msg}"));
                 // Framing is lost after a protocol violation: close.
-                respond(shared, &mut conn, 400, &body, true);
+                let msg = format!("malformed request: {msg}");
+                respond(shared, &mut conn, &error(400, &msg), true);
                 return;
             }
             Err(HttpError::BodyTooLarge) => {
                 shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let body = error_body(&format!(
-                    "body exceeds the {} byte limit",
-                    shared.cfg.max_body_bytes
-                ));
                 // The oversized body was never read off the socket, so
                 // the next request cannot be framed: close.
-                respond(shared, &mut conn, 413, &body, true);
+                let msg = format!("body exceeds the {} byte limit", shared.cfg.max_body_bytes);
+                respond(shared, &mut conn, &error(413, &msg), true);
                 return;
             }
             Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let (status, body) = route(shared, &request);
+        let t_serve = Instant::now();
+        let response = route(shared, &request);
         let shutdown_requested = request.method == "POST" && request.path == "/shutdown";
         let close = request.close
             || served == max
             || shutdown_requested
             || shared.stop.load(Ordering::SeqCst);
-        if !respond(shared, &mut conn, status, &body, close) {
+        let usable = respond(shared, &mut conn, &response, close);
+        shared.metrics.request.record(t_serve.elapsed());
+        if !usable {
             return;
         }
         if shutdown_requested {
@@ -574,22 +702,35 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-fn route(shared: &Shared, request: &Request) -> (u16, String) {
+fn route(shared: &Shared, request: &Request) -> Response {
+    // Propagate a parseable client-supplied trace id; otherwise derive
+    // one from a fresh nonce (`/synthesize` upgrades its derived id to
+    // carry the run cache key once it has computed one).
+    let nonce = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+    let client = request.trace_id.as_deref().and_then(TraceId::parse);
+    let trace = client.unwrap_or_else(|| TraceId::derive(0, nonce));
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/synthesize") => handle_synthesize(shared, &request.body),
-        ("GET", "/stats") => (200, render_stats(shared)),
-        ("GET", "/healthz") => (200, Json::Str("ok".into()).render()),
-        ("POST", "/shutdown") => (200, Json::Str("ok".into()).render()),
-        (_, "/synthesize" | "/stats" | "/healthz" | "/shutdown") => {
+        ("POST", "/synthesize") => handle_synthesize(shared, &request.body, client, nonce),
+        ("GET", "/stats") => Response::json(200, render_stats(shared), trace),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: render_metrics(shared),
+            trace,
+        },
+        ("GET", "/healthz") => Response::json(200, Json::Str("ok".into()).render(), trace),
+        ("POST", "/shutdown") => Response::json(200, Json::Str("ok".into()).render(), trace),
+        (_, "/synthesize" | "/stats" | "/metrics" | "/healthz" | "/shutdown") => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            (
+            Response::json(
                 405,
                 error_body(&format!("{} not allowed here", request.method)),
+                trace,
             )
         }
         (_, path) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            (404, error_body(&format!("no such endpoint: {path}")))
+            Response::json(404, error_body(&format!("no such endpoint: {path}")), trace)
         }
     }
 }
@@ -682,8 +823,15 @@ fn num_field(value: &Json, what: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{what} must be a non-negative number"))
 }
 
-fn handle_synthesize(shared: &Shared, body: &[u8]) -> (u16, String) {
+fn handle_synthesize(
+    shared: &Shared,
+    body: &[u8],
+    client_trace: Option<TraceId>,
+    nonce: u64,
+) -> Response {
     shared.stats.synth_requests.fetch_add(1, Ordering::Relaxed);
+    // Until the cache key exists, errors answer under a nonce-only id.
+    let early = client_trace.unwrap_or_else(|| TraceId::derive(0, nonce));
     let parsed = std::str::from_utf8(body)
         .map_err(|_| "body is not UTF-8".to_string())
         .and_then(json::parse);
@@ -691,51 +839,68 @@ fn handle_synthesize(shared: &Shared, body: &[u8]) -> (u16, String) {
         Ok(v) => v,
         Err(e) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return (400, error_body(&format!("bad JSON: {e}")));
+            return Response::json(400, error_body(&format!("bad JSON: {e}")), early);
         }
     };
     let Some(g) = request.get("g").and_then(Json::as_str) else {
         shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return (400, error_body("missing string member \"g\""));
+        return Response::json(400, error_body("missing string member \"g\""), early);
     };
     let opts = match options_from_json(request.get("options")) {
         Ok(opts) => opts,
         Err(e) => {
             shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return (400, error_body(&e));
+            return Response::json(400, error_body(&e), early);
         }
     };
     let stg = match parse_g(g) {
         Ok(stg) => stg,
-        Err(e) => return (422, error_body(&format!("parse: {e}"))),
+        Err(e) => return Response::json(422, error_body(&format!("parse: {e}")), early),
     };
     let key = run_cache_key(&stg, &opts);
+    let trace = client_trace.unwrap_or_else(|| TraceId::derive(key, nonce));
+    let root = shared.tracer.root(trace);
+    let sp = root.span("request");
 
-    match shared.flights.join(key) {
+    let (status, body, coalesced) = match shared.flights.join(key) {
         Join::Leader(guard) => {
-            let outcome = run_pipeline(shared, key, &stg, &opts);
+            let outcome = run_pipeline(shared, key, &stg, &opts, sp.ctx());
             guard.publish(outcome.clone().map(|(stable, _)| stable));
             match outcome {
-                Ok((stable, cache_hit)) => (200, synth_response(cache_hit, false, &stable)),
-                Err((status, msg)) => (status, error_body(&msg)),
+                Ok((stable, cache_hit)) => (200, synth_response(cache_hit, false, &stable), false),
+                Err((status, msg)) => (status, error_body(&msg), false),
             }
         }
-        Join::Follower(follower) => match follower.wait(shared.cfg.request_timeout) {
-            FlightResult::Done(Ok(stable)) => {
-                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                (200, synth_response(false, true, &stable))
+        Join::Follower(follower) => {
+            let t_wait = Instant::now();
+            let result = follower.wait(shared.cfg.request_timeout);
+            shared.metrics.flight_wait.record(t_wait.elapsed());
+            match result {
+                FlightResult::Done(Ok(stable)) => {
+                    shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (200, synth_response(false, true, &stable), true)
+                }
+                FlightResult::Done(Err((status, msg))) => {
+                    shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (status, error_body(&msg), true)
+                }
+                FlightResult::Abandoned => (500, error_body("in-flight synthesis failed"), true),
+                FlightResult::TimedOut => {
+                    shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    (
+                        504,
+                        error_body("timed out waiting for in-flight synthesis"),
+                        true,
+                    )
+                }
             }
-            FlightResult::Done(Err((status, msg))) => {
-                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                (status, error_body(&msg))
-            }
-            FlightResult::Abandoned => (500, error_body("in-flight synthesis failed")),
-            FlightResult::TimedOut => {
-                shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                (504, error_body("timed out waiting for in-flight synthesis"))
-            }
-        },
-    }
+        }
+    };
+    sp.end(&[
+        ("status", FieldVal::U64(u64::from(status))),
+        ("coalesced", FieldVal::U64(u64::from(coalesced))),
+    ]);
+    Response::json(status, body, trace)
 }
 
 /// Runs the pipeline under the shared cache, returning the stable
@@ -746,16 +911,20 @@ fn run_pipeline(
     key: u64,
     stg: &reshuffle::Stg,
     opts: &PipelineOptions,
+    span: reshuffle_obs::SpanCtx,
 ) -> Result<(String, bool), (u16, String)> {
     let done = Pipeline::from_stg(stg)
         .with_cache(&shared.cache)
+        .with_trace(span)
         .run(opts)
         .map_err(|e| (422u16, e.to_string()))?;
     let cache_hit = done.diagnostics().cache_hits == 1;
     if !cache_hit {
         shared.stats.executed.fetch_add(1, Ordering::Relaxed);
-        shared.accumulate_stages(done.diagnostics());
     }
+    // Hit runs report too: the `cache_hit` pseudo-stage keeps the hit
+    // path's lookup cost visible in `/stats` and `/metrics`.
+    shared.accumulate_stages(done.diagnostics());
     let s = done.synthesis();
     let strings =
         |items: &[String]| Json::Arr(items.iter().map(|i| Json::Str(i.clone())).collect());
@@ -844,4 +1013,142 @@ fn render_stats(shared: &Shared) -> String {
         ("stages", stages),
     ])
     .render()
+}
+
+/// The `GET /metrics` document: every `/stats` counter as a Prometheus
+/// counter/gauge, plus the latency histograms (`_bucket`/`_sum`/
+/// `_count`, bounds in seconds).
+fn render_metrics(shared: &Shared) -> String {
+    let mut w = PromWriter::new();
+    let stat = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let s = &shared.stats;
+    w.counter(
+        "reshuffle_connections_total",
+        "Connections accepted.",
+        stat(&s.connections),
+    );
+    w.counter(
+        "reshuffle_requests_total",
+        "HTTP requests parsed off connections.",
+        stat(&s.requests),
+    );
+    w.counter(
+        "reshuffle_synth_requests_total",
+        "POST /synthesize requests.",
+        stat(&s.synth_requests),
+    );
+    w.counter(
+        "reshuffle_synth_executed_total",
+        "Synthesize runs that executed the pipeline (cache misses).",
+        stat(&s.executed),
+    );
+    w.counter(
+        "reshuffle_synth_coalesced_total",
+        "Synthesize requests served by another request's in-flight run.",
+        stat(&s.coalesced),
+    );
+    w.counter(
+        "reshuffle_shed_total",
+        "Connections shed with 503 at the accept queue.",
+        stat(&s.shed),
+    );
+    w.counter(
+        "reshuffle_follower_timeouts_total",
+        "Coalesced waits that lapsed the request timeout (504).",
+        stat(&s.timeouts),
+    );
+    w.counter(
+        "reshuffle_request_timeouts_total",
+        "Requests that lapsed the read deadline (408).",
+        stat(&s.request_timeouts),
+    );
+    w.counter(
+        "reshuffle_bad_requests_total",
+        "Malformed, oversized or unroutable requests.",
+        stat(&s.bad_requests),
+    );
+    w.counter(
+        "reshuffle_write_errors_total",
+        "Responses that failed to write (client gone).",
+        stat(&s.write_errors),
+    );
+    let cache = &shared.cache;
+    w.counter(
+        "reshuffle_cache_hits_total",
+        "Synthesis-cache hits.",
+        cache.hits(),
+    );
+    w.counter(
+        "reshuffle_cache_misses_total",
+        "Synthesis-cache misses.",
+        cache.misses(),
+    );
+    w.counter(
+        "reshuffle_cache_shared_hits_total",
+        "Expansion candidates served from the shared cache.",
+        cache.shared_hits(),
+    );
+    w.counter(
+        "reshuffle_cache_evictions_total",
+        "LRU evictions from the bounded cache.",
+        cache.evictions(),
+    );
+    w.counter(
+        "reshuffle_cache_journal_appends_total",
+        "Syntheses appended to the crash journal.",
+        cache.journal_appends(),
+    );
+    w.counter(
+        "reshuffle_cache_journal_errors_total",
+        "Failed journal appends.",
+        cache.journal_errors(),
+    );
+    w.gauge(
+        "reshuffle_cache_entries",
+        "Entries resident in the synthesis cache.",
+        cache.len() as f64,
+    );
+    w.gauge(
+        "reshuffle_in_flight",
+        "Synthesize flights currently executing.",
+        shared.flights.in_flight() as f64,
+    );
+    w.gauge(
+        "reshuffle_uptime_seconds",
+        "Seconds since the server started.",
+        shared.started.elapsed().as_secs_f64(),
+    );
+    w.histogram(
+        "reshuffle_request_duration_seconds",
+        "Request service time, request parsed to response written.",
+        &shared.metrics.request.snapshot(),
+    );
+    w.histogram(
+        "reshuffle_queue_wait_seconds",
+        "Accepted-connection wait from accept-queue enqueue to worker pickup.",
+        &shared.metrics.queue_wait.snapshot(),
+    );
+    w.histogram(
+        "reshuffle_flight_wait_seconds",
+        "Coalesced follower wait on the in-flight leader.",
+        &shared.metrics.flight_wait.snapshot(),
+    );
+    let snaps: Vec<HistSnapshot> = shared
+        .metrics
+        .stages
+        .iter()
+        .map(Histogram::snapshot)
+        .collect();
+    let labels: Vec<[(&str, &str); 1]> = STAGE_NAMES.iter().map(|n| [("stage", *n)]).collect();
+    let series: Vec<(&[(&str, &str)], &HistSnapshot)> = labels
+        .iter()
+        .zip(snaps.iter())
+        .map(|(l, snap)| (l.as_slice(), snap))
+        .collect();
+    w.histogram_family(
+        "reshuffle_stage_duration_seconds",
+        "Per-stage pipeline wall time (cache_hit is the hit path's lookup latency).",
+        &series,
+    );
+    w.finish()
 }

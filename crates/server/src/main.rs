@@ -15,7 +15,8 @@ fn usage() -> &'static str {
     "usage: reshuffle-server [--addr HOST:PORT] [--threads N] [--queue-depth N]\n\
      \x20                       [--timeout-secs N] [--idle-timeout-secs N]\n\
      \x20                       [--max-requests-per-conn N] [--max-body-bytes N]\n\
-     \x20                       [--cache PATH] [--cache-capacity N]"
+     \x20                       [--cache PATH] [--cache-capacity N]\n\
+     \x20                       [--trace-level N] [--trace-file PATH]"
 }
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -78,6 +79,19 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                         .parse()
                         .map_err(|e| format!("--cache-capacity: {e}"))?,
                 ));
+            }
+            "--trace-level" => {
+                cfg = cfg.with_trace_level(
+                    value("a level (0-2)")?
+                        .parse()
+                        .map_err(|e| format!("--trace-level: {e}"))?,
+                );
+            }
+            "--trace-file" => {
+                let path = value("a path")?;
+                let sink = reshuffle_server::SinkHandle::file(std::path::Path::new(&path))
+                    .map_err(|e| format!("--trace-file {path}: {e}"))?;
+                cfg = cfg.with_trace_sink(sink);
             }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }

@@ -15,15 +15,29 @@ use reshuffle_bench::json::{self, Json};
 use reshuffle_server::{Server, ServerConfig};
 
 /// One blocking exchange over a fresh connection that asks the server
-/// to close; returns (status, body).
-fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+/// to close; returns (status, head, body).
+fn exchange_full(addr: SocketAddr, raw: &str) -> (u16, String, String) {
     let mut conn = TcpStream::connect(addr).unwrap();
     conn.write_all(raw.as_bytes()).unwrap();
     let mut response = String::new();
     conn.read_to_string(&mut response).unwrap();
     let status = response.split(' ').nth(1).unwrap().parse().unwrap();
-    let body = response.split_once("\r\n\r\n").unwrap().1.to_string();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    (status, head.to_string(), body.to_string())
+}
+
+/// [`exchange_full`] without the head.
+fn exchange(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let (status, _, body) = exchange_full(addr, raw);
     (status, body)
+}
+
+/// A response header's value, case-insensitively.
+fn header(head: &str, name: &str) -> Option<String> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
@@ -390,6 +404,137 @@ fn journal_replay_survives_a_crash_with_zero_reexecutions() {
     assert_eq!(cache_stat(&doc, "entries"), 2.0, "snapshot not loaded");
     server.stop().unwrap();
     std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn metrics_serves_valid_prometheus_with_latency_histograms() {
+    let server = Server::start(ServerConfig::new()).unwrap();
+    let addr = server.addr();
+    let body = synth_body(XYZ_G);
+    // One miss (executed) and one hit, so both the real stages and the
+    // cache_hit pseudo-stage have samples.
+    assert_eq!(post(addr, "/synthesize", &body).0, 200);
+    assert_eq!(post(addr, "/synthesize", &body).0, 200);
+
+    let (status, head, text) =
+        exchange_full(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        header(&head, "content-type").is_some_and(|ct| ct.starts_with("text/plain")),
+        "{head}"
+    );
+    let summary = reshuffle_obs::validate(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    for family in [
+        "reshuffle_requests_total",
+        "reshuffle_synth_requests_total",
+        "reshuffle_cache_hits_total",
+        "reshuffle_request_duration_seconds",
+        "reshuffle_queue_wait_seconds",
+        "reshuffle_flight_wait_seconds",
+        "reshuffle_stage_duration_seconds",
+    ] {
+        assert!(summary.has_family(family), "missing {family}:\n{text}");
+    }
+    assert!(text.contains("reshuffle_synth_requests_total 2"), "{text}");
+    assert!(text.contains("reshuffle_cache_hits_total 1"), "{text}");
+    // The hit run's lookup latency landed in the stage histograms.
+    assert!(
+        text.contains("reshuffle_stage_duration_seconds_count{stage=\"cache_hit\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("reshuffle_stage_duration_seconds_count{stage=\"synthesize\"} 1"),
+        "{text}"
+    );
+    // Every served connection waited on the accept queue: the two
+    // synthesize posts plus this scrape's own connection.
+    assert!(
+        text.contains("reshuffle_queue_wait_seconds_count 3"),
+        "{text}"
+    );
+
+    // The cache_hit pseudo-stage is visible in /stats too.
+    let doc = stats(addr);
+    let stages = doc.get("stages").and_then(Json::items).unwrap();
+    let hit = stages
+        .iter()
+        .find(|e| e.get("stage").and_then(Json::as_str) == Some("cache_hit"))
+        .unwrap_or_else(|| panic!("no cache_hit stage in /stats: {}", doc.render()));
+    assert_eq!(stat(hit, "runs"), 1.0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn every_response_echoes_a_trace_id_and_spans_share_it() {
+    use reshuffle_server::{RingSink, SinkHandle};
+    let ring = Arc::new(RingSink::new(4096));
+    let server = Server::start(
+        ServerConfig::new()
+            .with_trace_level(2)
+            .with_trace_sink(SinkHandle::new(ring.clone())),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A synthesize without a client id: the response invents one...
+    let body = synth_body(XYZ_G);
+    let (status, head, _) = exchange_full(
+        addr,
+        &format!(
+            "POST /synthesize HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    let trace = header(&head, "x-trace-id").expect("no X-Trace-Id on /synthesize");
+    assert_eq!(trace.len(), 32, "{trace}");
+    assert!(trace.bytes().all(|b| b.is_ascii_hexdigit()), "{trace}");
+    // ...and every span the request emitted — the request root, the
+    // pipeline stages, and the level-2 BFS shards — carries that id.
+    let lines = ring.lines();
+    for name in ["request", "stage.expand", "stage.synthesize", "bfs.shard"] {
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains(&format!("\"name\":\"{name}\""))),
+            "no {name} span in {lines:#?}"
+        );
+    }
+    for line in &lines {
+        assert!(line.contains(&trace), "span outside the trace: {line}");
+    }
+
+    // A client-supplied parseable id is propagated verbatim.
+    let supplied = "00000000000000ab00000000000000cd";
+    let before = ring.lines().len();
+    let (status, head, _) = exchange_full(
+        addr,
+        &format!(
+            "POST /synthesize HTTP/1.1\r\nConnection: close\r\nX-Trace-Id: {supplied}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&head, "x-trace-id").as_deref(), Some(supplied));
+    let lines = ring.lines();
+    assert!(lines.len() > before, "hit run emitted no spans");
+    for line in &lines[before..] {
+        assert!(line.contains(supplied), "span outside the trace: {line}");
+    }
+    // The hit run's spans include the honest cache.lookup probe.
+    assert!(
+        lines[before..]
+            .iter()
+            .any(|l| l.contains("\"name\":\"cache.lookup\"") && l.contains("\"hit\":1")),
+        "{lines:#?}"
+    );
+
+    // Non-synthesize endpoints echo an id too.
+    let (_, head, _) = exchange_full(addr, "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(header(&head, "x-trace-id").is_some(), "{head}");
+    server.stop().unwrap();
 }
 
 #[test]

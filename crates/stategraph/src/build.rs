@@ -16,6 +16,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use reshuffle_obs::{FieldVal, SpanCtx};
 use reshuffle_petri::sharded::{self, ExploreOptions};
 use reshuffle_petri::{Marking, Polarity, ReachabilityGraph, SignalId, Stg};
 
@@ -64,6 +65,10 @@ pub struct BuildOptions {
     /// the `RESHUFFLE_THREADS` environment variable — CI uses that to
     /// assert thread-count independence of whole reports.
     pub threads: usize,
+    /// Trace context: the build opens `bfs.markings` and `bfs.encode`
+    /// child spans (level 1) and per-shard `bfs.shard` spans (level 2)
+    /// under it. Disabled by default; never affects the built graph.
+    pub span: SpanCtx,
 }
 
 impl Default for BuildOptions {
@@ -74,7 +79,17 @@ impl Default for BuildOptions {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            span: SpanCtx::default(),
         }
+    }
+}
+
+impl BuildOptions {
+    /// Attach a trace context for the exploration spans.
+    #[must_use]
+    pub fn with_span(mut self, span: SpanCtx) -> BuildOptions {
+        self.span = span;
+        self
     }
 }
 
@@ -274,12 +289,16 @@ pub fn build_state_graph_stats(stg: &Stg, opts: &BuildOptions) -> Result<(StateG
     if stg.num_signals() > 64 {
         return Err(SgError::TooManySignals(stg.num_signals()));
     }
-    let rg = ReachabilityGraph::explore_threads(
+    let sp_markings = opts.span.span("bfs.markings");
+    let rg = ReachabilityGraph::explore_opts(
         stg.net(),
         &stg.initial_marking(),
-        opts.state_budget,
-        opts.threads,
+        &ExploreOptions::new(opts.threads, opts.state_budget).with_span(sp_markings.ctx()),
     )?;
+    sp_markings.end(&[
+        ("states", FieldVal::U64(rg.len() as u64)),
+        ("peak_frontier", FieldVal::U64(rg.peak_frontier() as u64)),
+    ]);
     let initial_values = infer_initial_values(stg, &rg)?;
     let mut code0 = 0u64;
     for (i, &v) in initial_values.iter().enumerate() {
@@ -294,9 +313,10 @@ pub fn build_state_graph_stats(stg: &Stg, opts: &BuildOptions) -> Result<(StateG
     // Explore (marking-node, code) pairs. Markings are referenced by
     // their node id in the already-explored reachability graph, so the
     // frontier keys are plain `(u32, u64)` pairs — no marking clones.
+    let sp_encode = opts.span.span("bfs.encode");
     let explored = sharded::explore(
         (0u32, code0),
-        &ExploreOptions::new(opts.threads, opts.state_budget),
+        &ExploreOptions::new(opts.threads, opts.state_budget).with_span(sp_encode.ctx()),
         |&(mnode, code), out: &mut Vec<(EventId, (u32, u64))>| {
             for &(t, mtgt) in rg.successors(mnode) {
                 let next_code = match stg.edge_of(t) {
@@ -333,6 +353,14 @@ pub fn build_state_graph_stats(stg: &Stg, opts: &BuildOptions) -> Result<(StateG
         },
         |b| SgError::Petri(reshuffle_petri::PetriError::StateBudgetExceeded(b)),
     )?;
+    sp_encode.end(&[
+        ("states", FieldVal::U64(explored.keys.len() as u64)),
+        ("arcs", FieldVal::U64(explored.num_arcs() as u64)),
+        (
+            "peak_frontier",
+            FieldVal::U64(explored.peak_frontier as u64),
+        ),
+    ]);
 
     // Without toggles, a marking reached under two codes is inconsistent.
     if !has_toggle {
