@@ -105,7 +105,9 @@ pub use reshuffle_timing::{simulate, DelayModel, SimOptions, TimingError};
 
 pub use cache::SynthCache;
 pub use diag::{Diagnostics, Stage, StageReport};
-pub use pipeline::{run_cache_key, Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized};
+pub use pipeline::{
+    run_cache_key, source_cache_key, Expanded, Parsed, Pipeline, Reduced, Resolved, Synthesized,
+};
 pub use store::{CacheStore, FileStore, MemStore, Recovery};
 
 /// Errors from the end-to-end pipeline, tagged by the failing stage.
@@ -1236,5 +1238,20 @@ Go- Req~
                 assert_ne!(a, b, "distinct options collided");
             }
         }
+    }
+
+    #[test]
+    fn source_cache_key_agrees_with_run_cache_key() {
+        let opts = PipelineOptions::new().with_style(ImplStyle::GeneralizedC);
+        let spec = parse_g(XYZ_G).unwrap();
+        assert_eq!(
+            source_cache_key(XYZ_G, &opts).unwrap(),
+            run_cache_key(&spec, &opts),
+            "router-side key must match the pipeline-side key"
+        );
+        assert!(matches!(
+            source_cache_key("not a spec", &opts),
+            Err(PipelineError::Parse(_))
+        ));
     }
 }

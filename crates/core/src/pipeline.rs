@@ -329,6 +329,22 @@ pub fn run_cache_key(spec: &Stg, opts: &PipelineOptions) -> u64 {
     options_key(canonical_fingerprint(spec), opts)
 }
 
+/// [`run_cache_key`] computed straight from `.g` source, without
+/// running any pipeline stage. Front tiers that route by content
+/// (the `reshuffle-server` router computes `key % N` to pick a
+/// backend shard) use this so the routing decision agrees exactly
+/// with the cache key every backend will derive for the same spec and
+/// options.
+///
+/// # Errors
+///
+/// [`PipelineError::Parse`] when the source is not a well-formed `.g`
+/// specification.
+pub fn source_cache_key(g: &str, opts: &PipelineOptions) -> Result<u64> {
+    let spec = parse_g(g).map_err(PipelineError::Parse)?;
+    Ok(run_cache_key(&spec, opts))
+}
+
 // --- Parsed ----------------------------------------------------------
 
 /// A parsed specification: the start of the stage chain.

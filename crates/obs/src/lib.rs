@@ -17,7 +17,7 @@ pub mod prom;
 pub mod span;
 
 pub use hist::{HistSnapshot, Histogram};
-pub use prom::{validate, PromSummary, PromWriter};
+pub use prom::{parse, validate, PromDoc, PromFamily, PromSample, PromSummary, PromWriter};
 pub use span::{
     ActiveSpan, FieldVal, FileSink, RingSink, Sink, SinkHandle, SpanCtx, StderrSink, TraceId,
     Tracer,

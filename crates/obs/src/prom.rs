@@ -1,13 +1,16 @@
 //! Prometheus text exposition format (version 0.0.4): a writer for
 //! counters, gauges and histograms, and a strict validating parser used by
-//! tests and the `promlint` CI binary.
+//! tests, the `promlint` CI binary, and the router tier's `/metrics`
+//! rollup (which [`parse`]s each backend's scrape into a [`PromDoc`],
+//! rebuilds [`HistSnapshot`]s with
+//! [`PromFamily::histogram_snapshots`], and merges them).
 //!
 //! Histograms are rendered from [`HistSnapshot`]s with `le` bounds in
 //! **seconds** (converted from the histogram's microsecond buckets), with
 //! cumulative `_bucket` counts, a `_sum` in seconds, and a `_count`, as the
 //! format requires.
 
-use crate::hist::{bucket_bound_micros, HistSnapshot, FINITE_BUCKETS};
+use crate::hist::{bucket_bound_micros, HistSnapshot, FINITE_BUCKETS, NUM_BUCKETS};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Write as _;
 
@@ -76,6 +79,17 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name} {value}");
     }
 
+    /// A gauge family: one sample per label set (e.g. per-backend
+    /// `reshuffle_backend_up{backend="…"}` health gauges).
+    pub fn gauge_family(&mut self, name: &str, help: &str, series: &[(&[Label<'_>], f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, value) in series {
+            self.out.push_str(name);
+            self.labels(labels);
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
     /// A histogram family rendered from snapshots, one series per label set.
     /// Bucket bounds and `_sum` are converted from microseconds to seconds.
     pub fn histogram_family(
@@ -135,6 +149,163 @@ impl PromSummary {
     /// Does the document define a family with this name?
     pub fn has_family(&self, name: &str) -> bool {
         self.families.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// One sample from a parsed document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The full sample name as written (histogram samples keep their
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in document order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Label pairs as owned strings, in document order.
+pub type OwnedLabels = Vec<(String, String)>;
+
+/// One metric family from a parsed document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// The family name (for histograms, the base name without suffix).
+    pub name: String,
+    /// The declared type (`counter`, `gauge`, `histogram`, …).
+    pub ty: String,
+    /// The `# HELP` text, empty when the document carried none.
+    pub help: String,
+    /// Every sample belonging to this family, in document order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// Rebuilds one [`HistSnapshot`] per label set (excluding `le`)
+    /// from this histogram family's `_bucket`/`_sum`/`_count` samples,
+    /// in order of first appearance — the read side of
+    /// [`PromWriter::histogram_family`], so a scrape of one process's
+    /// histograms can be [`merge`](HistSnapshot::merge)d with
+    /// another's.
+    ///
+    /// The exposition format does not carry the recorded maximum;
+    /// `max_micros` is approximated by the upper bound of the highest
+    /// occupied finite bucket (or by `sum_micros` when the `+Inf`
+    /// bucket is occupied, a safe overestimate).
+    ///
+    /// # Errors
+    ///
+    /// When the family is not a histogram, or its finite bucket bounds
+    /// are not this crate's log2 grid (foreign scrapes cannot be
+    /// folded into a [`HistSnapshot`] losslessly).
+    pub fn histogram_snapshots(&self) -> Result<Vec<(OwnedLabels, HistSnapshot)>, String> {
+        if self.ty != "histogram" {
+            return Err(format!("{} is a {}, not a histogram", self.name, self.ty));
+        }
+        // Group label set (minus le) -> (buckets, sum, count), keeping
+        // first-appearance order.
+        let mut order: Vec<Vec<(String, String)>> = Vec::new();
+        type Group = (Vec<(f64, f64)>, f64, f64);
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        for sample in &self.samples {
+            let labels: Vec<(String, String)> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            let key = format!("{labels:?}");
+            if !groups.contains_key(&key) {
+                order.push(labels.clone());
+                groups.insert(key.clone(), (Vec::new(), 0.0, 0.0));
+            }
+            let entry = groups.get_mut(&key).expect("just inserted");
+            if sample.name.ends_with("_bucket") {
+                let le = sample
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("{}: _bucket without le", self.name))?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("{}: unparseable le {le:?}", self.name))?
+                };
+                entry.0.push((bound, sample.value));
+            } else if sample.name.ends_with("_sum") {
+                entry.1 = sample.value;
+            } else if sample.name.ends_with("_count") {
+                entry.2 = sample.value;
+            }
+        }
+        let mut out = Vec::new();
+        for labels in order {
+            let key = format!("{labels:?}");
+            let (mut buckets, sum, count) = groups.remove(&key).expect("grouped above");
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are not NaN"));
+            let mut snap = HistSnapshot {
+                counts: [0; NUM_BUCKETS],
+                sum_micros: (sum * 1e6).round() as u64,
+                count: count.round() as u64,
+                max_micros: 0,
+            };
+            let mut prev = 0.0;
+            let mut next_grid = 0usize;
+            for (bound, cumulative) in &buckets {
+                let in_bucket = (cumulative - prev).round() as u64;
+                prev = *cumulative;
+                let idx = if bound.is_infinite() {
+                    FINITE_BUCKETS
+                } else {
+                    let micros = (bound * 1e6).round() as u64;
+                    let idx = (next_grid..FINITE_BUCKETS)
+                        .find(|&i| bucket_bound_micros(i) as f64 / 1e6 == *bound)
+                        .ok_or_else(|| {
+                            format!("{}: bucket bound {micros}µs off the log2 grid", self.name)
+                        })?;
+                    next_grid = idx + 1;
+                    idx
+                };
+                snap.counts[idx] = in_bucket;
+                if in_bucket > 0 {
+                    snap.max_micros = if idx >= FINITE_BUCKETS {
+                        snap.sum_micros
+                    } else {
+                        bucket_bound_micros(idx)
+                    };
+                }
+            }
+            out.push((labels, snap));
+        }
+        Ok(out)
+    }
+}
+
+/// A fully parsed exposition document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromDoc {
+    /// Families in order of their `# TYPE` declaration.
+    pub families: Vec<PromFamily>,
+}
+
+impl PromDoc {
+    /// Looks a family up by name.
+    pub fn family(&self, name: &str) -> Option<&PromFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The [`PromSummary`] view of this document.
+    pub fn summary(&self) -> PromSummary {
+        PromSummary {
+            families: self
+                .families
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
+            samples: self.families.iter().map(|f| f.samples.len()).sum(),
+        }
     }
 }
 
@@ -261,7 +432,7 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
     })
 }
 
-/// Validate a text exposition document against the 0.0.4 grammar, plus
+/// Parse a text exposition document against the 0.0.4 grammar, plus
 /// structural rules our scrapes rely on:
 ///
 /// * every `#` line is a well-formed `HELP` or `TYPE` comment;
@@ -271,8 +442,9 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
 ///   `_bucket` counts, a `+Inf` bucket, and `_sum`/`_count` samples with
 ///   `_count` equal to the `+Inf` bucket.
 ///
-/// Returns a [`PromSummary`] on success.
-pub fn validate(text: &str) -> Result<PromSummary, String> {
+/// Returns the full [`PromDoc`] on success; [`validate`] is the
+/// summary-only view.
+pub fn parse(text: &str) -> Result<PromDoc, String> {
     if text.is_empty() {
         return Err("empty exposition document".into());
     }
@@ -280,9 +452,10 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
         return Err("document must end with a newline".into());
     }
     let mut types: HashMap<String, String> = HashMap::new();
-    let mut families: Vec<(String, String)> = Vec::new();
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut family_index: HashMap<String, usize> = HashMap::new();
+    let mut helps: HashMap<String, String> = HashMap::new();
     let mut seen_series: HashSet<String> = HashSet::new();
-    let mut samples = 0usize;
     // histogram family -> (labels-without-le key) -> collected pieces
     type HistGroup = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
     let mut hists: HashMap<String, BTreeMap<String, HistGroup>> = HashMap::new();
@@ -298,6 +471,12 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
                 let name = rest.split_ascii_whitespace().next().unwrap_or("");
                 if !valid_metric_name(name) {
                     return Err(format!("line {lineno}: HELP with invalid metric name"));
+                }
+                let help = rest[name.len()..].trim_start().to_string();
+                if let Some(&i) = family_index.get(name) {
+                    families[i].help = help;
+                } else {
+                    helps.insert(name.to_string(), help);
                 }
             } else if let Some(rest) = comment.strip_prefix("TYPE ") {
                 let mut parts = rest.split_ascii_whitespace();
@@ -315,14 +494,19 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
                 if types.insert(name.to_string(), ty.to_string()).is_some() {
                     return Err(format!("line {lineno}: duplicate TYPE for {name}"));
                 }
-                families.push((name.to_string(), ty.to_string()));
+                family_index.insert(name.to_string(), families.len());
+                families.push(PromFamily {
+                    name: name.to_string(),
+                    ty: ty.to_string(),
+                    help: helps.remove(name).unwrap_or_default(),
+                    samples: Vec::new(),
+                });
             } else {
                 return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
             }
             continue;
         }
         let sample = parse_sample(line, lineno)?;
-        samples += 1;
         let mut sorted = sample.labels.clone();
         sorted.sort();
         let series_key = format!("{}|{:?}", sample.name, sorted);
@@ -381,6 +565,12 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
                 _ => unreachable!(),
             }
         }
+        let i = family_index[&family];
+        families[i].samples.push(PromSample {
+            name: sample.name,
+            labels: sample.labels,
+            value: sample.value,
+        });
     }
 
     for (family, groups) in &hists {
@@ -410,7 +600,13 @@ pub fn validate(text: &str) -> Result<PromSummary, String> {
         }
     }
 
-    Ok(PromSummary { families, samples })
+    Ok(PromDoc { families })
+}
+
+/// Validate a text exposition document — [`parse`] reduced to its
+/// [`PromSummary`]. Same grammar and structural checks, same errors.
+pub fn validate(text: &str) -> Result<PromSummary, String> {
+    parse(text).map(|doc| doc.summary())
 }
 
 #[cfg(test)]
@@ -530,5 +726,111 @@ mod tests {
         );
         let text = w.finish();
         validate(&text).expect("escaped labels must round-trip");
+        let doc = parse(&text).expect("escaped labels must parse");
+        assert_eq!(
+            doc.families[0].samples[0].labels,
+            vec![("k".to_string(), "a\"b\\c\nd".to_string())]
+        );
+    }
+
+    #[test]
+    fn gauge_family_output_validates() {
+        let mut w = PromWriter::new();
+        w.gauge_family(
+            "reshuffle_backend_up",
+            "Backend health.",
+            &[
+                (&[("backend", "127.0.0.1:7890")], 1.0),
+                (&[("backend", "127.0.0.1:7891")], 0.0),
+            ],
+        );
+        let text = w.finish();
+        let doc = parse(&text).expect("gauge family must validate");
+        let fam = doc.family("reshuffle_backend_up").expect("family present");
+        assert_eq!(fam.ty, "gauge");
+        assert_eq!(fam.help, "Backend health.");
+        assert_eq!(fam.samples.len(), 2);
+        assert_eq!(fam.samples[0].value, 1.0);
+        assert_eq!(fam.samples[1].value, 0.0);
+        assert_eq!(
+            fam.samples[1].labels,
+            vec![("backend".to_string(), "127.0.0.1:7891".to_string())]
+        );
+    }
+
+    #[test]
+    fn parse_exposes_structure_and_summary_agrees() {
+        let mut w = PromWriter::new();
+        w.counter("a_total", "A.", 3);
+        w.counter_family("b_total", "B.", &[(&[("x", "1")], 7), (&[("x", "2")], 9)]);
+        w.gauge("g", "G.", 2.5);
+        let text = w.finish();
+        let doc = parse(&text).expect("parse");
+        assert_eq!(doc.families.len(), 3);
+        assert_eq!(doc.family("a_total").unwrap().samples[0].value, 3.0);
+        let b = doc.family("b_total").unwrap();
+        assert_eq!(b.samples.len(), 2);
+        assert_eq!(b.samples[1].labels[0], ("x".to_string(), "2".to_string()));
+        assert_eq!(doc.summary(), validate(&text).unwrap());
+        assert!(doc.family("missing").is_none());
+    }
+
+    #[test]
+    fn histogram_snapshots_round_trip_through_exposition() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 50, 900, 70_000] {
+            h.record_micros(v);
+        }
+        let snap = h.snapshot();
+        let mut w = PromWriter::new();
+        w.histogram_family(
+            "rt_seconds",
+            "Round trip.",
+            &[
+                (&[("stage", "parse")], &snap),
+                (&[("stage", "expand")], &snap),
+            ],
+        );
+        let text = w.finish();
+        let doc = parse(&text).expect("parse");
+        let rebuilt = doc
+            .family("rt_seconds")
+            .expect("family")
+            .histogram_snapshots()
+            .expect("on-grid bounds");
+        assert_eq!(rebuilt.len(), 2);
+        for (labels, got) in &rebuilt {
+            assert_eq!(labels.len(), 1);
+            assert_eq!(labels[0].0, "stage");
+            assert_eq!(got.counts, snap.counts);
+            assert_eq!(got.count, snap.count);
+            assert_eq!(got.sum_micros, snap.sum_micros);
+            // max is approximated by the highest occupied bucket bound.
+            assert!(got.max_micros >= snap.max_micros);
+        }
+        // Rebuilt snapshots merge like the originals.
+        let mut merged = rebuilt[0].1.clone();
+        merged.merge(&rebuilt[1].1);
+        assert_eq!(merged.count, 2 * snap.count);
+        assert_eq!(merged.sum_micros, 2 * snap.sum_micros);
+    }
+
+    #[test]
+    fn histogram_snapshots_reject_foreign_grids_and_wrong_types() {
+        let foreign = "# TYPE h histogram\n\
+                       h_bucket{le=\"0.3\"} 2\n\
+                       h_bucket{le=\"+Inf\"} 4\n\
+                       h_sum 2.25\n\
+                       h_count 4\n";
+        let doc = parse(foreign).expect("valid document");
+        assert!(doc.family("h").unwrap().histogram_snapshots().is_err());
+        let mut w = PromWriter::new();
+        w.counter("c_total", "C.", 1);
+        let doc = parse(&w.finish()).expect("valid document");
+        assert!(doc
+            .family("c_total")
+            .unwrap()
+            .histogram_snapshots()
+            .is_err());
     }
 }

@@ -24,6 +24,15 @@
 //! socket failures after the one reconnect retry) and **HTTP errors**
 //! (unexpected statuses), reported and counted separately.
 //!
+//! Driving a **router** (`--route` mode) needs no extra flags: the
+//! driver recognizes the router's response headers and adds a `routed`
+//! breakdown — per-backend request counts from `X-Backend`, and the
+//! shed split between `router_shed` (503 stamped `X-Role: router`: the
+//! router's own queue or an unreachable backend) and `backend_shed` (a
+//! backend's 503 proxied through). Direct backend runs never carry
+//! those headers, so the committed `--baseline` report keeps its exact
+//! schema.
+//!
 //! `--json` emits the report as JSON. `--baseline` additionally makes
 //! it machine-stable for committing and diffing in CI: wall-clock
 //! fields are zeroed and the scheduling-dependent `cache_hit` /
@@ -33,16 +42,16 @@
 //! Exits nonzero on any connection error, HTTP error, or an invalid
 //! `/metrics` document.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use reshuffle_bench::examples::{self, scaled_pipeline};
 use reshuffle_bench::json::Json;
 use reshuffle_obs::{validate, HistSnapshot, Histogram};
+use reshuffle_server::client::{exchange_once, exchange_with_retry, ClientConn, ClientResponse};
 use reshuffle_server::{Server, ServerConfig};
 
 struct Args {
@@ -94,6 +103,20 @@ const CACHE_HIT: usize = 1;
 const COALESCED: usize = 2;
 const SHED: usize = 3;
 
+/// Router-tier attribution, populated only when responses carry the
+/// router's headers (`X-Role: router` on router-originated responses,
+/// `X-Backend` on proxied ones).
+#[derive(Default)]
+struct RoutedTotals {
+    seen: bool,
+    /// 503s the router answered itself (queue shed, backend down).
+    router_shed: u64,
+    /// Backend 503s proxied through the router.
+    backend_shed: u64,
+    /// Responses per `X-Backend` shard index.
+    backends: BTreeMap<String, u64>,
+}
+
 /// Everything the worker threads count and measure, shared by `Arc`.
 #[derive(Default)]
 struct Totals {
@@ -105,77 +128,29 @@ struct Totals {
     reconnects: AtomicUsize,
     /// Client-observed latency per phase.
     phases: [Histogram; PHASES],
+    routed: Mutex<RoutedTotals>,
 }
 
-/// One client end of a keep-alive connection: sends requests and reads
-/// `Content-Length`-framed responses without waiting for EOF, so the
-/// socket can carry the next request.
-struct ClientConn {
-    reader: BufReader<TcpStream>,
-}
-
-impl ClientConn {
-    fn connect(addr: &str) -> io::Result<ClientConn> {
-        Ok(ClientConn {
-            reader: BufReader::new(TcpStream::connect(addr)?),
-        })
-    }
-
-    /// One request/response exchange. Returns
-    /// `(status, body, server_closes)`.
-    fn exchange(&mut self, request: &str) -> io::Result<(u16, String, bool)> {
-        let mut stream = self.reader.get_ref();
-        stream.write_all(request.as_bytes())?;
-
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed before the response",
-            ));
+impl Totals {
+    /// Attributes one response to the router tier, when its headers say
+    /// a router produced or proxied it.
+    fn observe_route(&self, response: &ClientResponse) {
+        let from_router = response.header("x-role") == Some("router");
+        let backend = response.header("x-backend");
+        if !from_router && backend.is_none() {
+            return;
         }
-        let status = line
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        let mut content_length = 0usize;
-        let mut close = false;
-        loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed inside response headers",
-                ));
+        let mut routed = self.routed.lock().unwrap();
+        routed.seen = true;
+        if let Some(shard) = backend {
+            *routed.backends.entry(shard.to_string()).or_insert(0) += 1;
+            if response.status == 503 {
+                routed.backend_shed += 1;
             }
-            let trimmed = line.trim_end_matches(['\r', '\n']);
-            if trimmed.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = trimmed.split_once(':') {
-                let value = value.trim();
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.parse().unwrap_or(0);
-                } else if name.eq_ignore_ascii_case("connection")
-                    && value.eq_ignore_ascii_case("close")
-                {
-                    close = true;
-                }
-            }
+        } else if response.status == 503 {
+            routed.router_shed += 1;
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
-        Ok((status, String::from_utf8_lossy(&body).into_owned(), close))
     }
-}
-
-/// One exchange over a fresh short-lived connection (asks the server
-/// to close, so it also works against keep-alive servers).
-fn exchange_once(addr: &str, request: &str) -> io::Result<(u16, String)> {
-    let mut conn = ClientConn::connect(addr)?;
-    let (status, body, _) = conn.exchange(request)?;
-    Ok((status, body))
 }
 
 fn post_body(g: &str, reduce: bool) -> String {
@@ -217,51 +192,36 @@ fn drive(addr: &str, corpus: &[String], totals: &Totals, total: usize, keep_aliv
         let request = &corpus[i % corpus.len()];
         let t0 = Instant::now();
         // One reconnect retry covers the benign race where the server
-        // closed an idle connection as we were writing to it.
-        let mut attempts = 0;
-        let outcome = loop {
-            attempts += 1;
-            let c = match conn.as_mut() {
-                Some(c) => c,
-                None => match ClientConn::connect(addr) {
-                    Ok(c) => {
-                        if connected_before {
-                            totals.reconnects.fetch_add(1, Ordering::Relaxed);
-                        }
-                        connected_before = true;
-                        conn.insert(c)
-                    }
-                    Err(e) => break Err(e),
-                },
-            };
-            match c.exchange(request) {
-                Ok(ok) => break Ok(ok),
-                Err(e) => {
-                    conn = None;
-                    if attempts >= 2 {
-                        break Err(e);
-                    }
-                }
-            }
-        };
+        // closed an idle connection as we were writing to it; connect
+        // failures surface immediately.
+        let outcome = exchange_with_retry(
+            &mut conn,
+            || ClientConn::connect(addr),
+            request.as_bytes(),
+            2,
+        );
         let elapsed = t0.elapsed();
         match outcome {
-            Ok((200, body, close)) => {
-                totals.phases[classify_ok(&body)].record(elapsed);
-                if close || !keep_alive {
+            Ok((response, dialed)) => {
+                if connected_before {
+                    totals.reconnects.fetch_add(dialed, Ordering::Relaxed);
+                } else if dialed > 0 {
+                    connected_before = true;
+                    totals.reconnects.fetch_add(dialed - 1, Ordering::Relaxed);
+                }
+                totals.observe_route(&response);
+                match response.status {
+                    200 => totals.phases[classify_ok(&response.body_str())].record(elapsed),
+                    503 => totals.phases[SHED].record(elapsed),
+                    status => {
+                        eprintln!("request {i}: unexpected {status}: {}", response.body_str());
+                        totals.http_errors.fetch_add(1, Ordering::Relaxed);
+                        conn = None;
+                    }
+                }
+                if !keep_alive {
                     conn = None;
                 }
-            }
-            Ok((503, _, close)) => {
-                totals.phases[SHED].record(elapsed);
-                if close || !keep_alive {
-                    conn = None;
-                }
-            }
-            Ok((status, body, _)) => {
-                eprintln!("request {i}: unexpected {status}: {body}");
-                totals.http_errors.fetch_add(1, Ordering::Relaxed);
-                conn = None;
             }
             Err(e) => {
                 eprintln!("request {i}: connection error: {e}");
@@ -337,8 +297,8 @@ fn main() -> ExitCode {
     }
     let wall = t0.elapsed();
 
-    let stats = match exchange_once(&addr, "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n") {
-        Ok((200, body)) => body,
+    let stats = match exchange_once(&addr, b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n") {
+        Ok(r) if r.status == 200 => r.body_str(),
         other => {
             eprintln!("error: GET /stats failed: {other:?}");
             return ExitCode::FAILURE;
@@ -347,8 +307,8 @@ fn main() -> ExitCode {
     // Scrape `/metrics` and hold it to the Prometheus text grammar —
     // every loadgen run doubles as an exposition-format check.
     let metrics_ok =
-        match exchange_once(&addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n") {
-            Ok((200, body)) => match validate(&body) {
+        match exchange_once(&addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n") {
+            Ok(r) if r.status == 200 => match validate(&r.body_str()) {
                 Ok(_) => true,
                 Err(e) => {
                     eprintln!("error: /metrics failed validation: {e}");
@@ -366,6 +326,7 @@ fn main() -> ExitCode {
     let shed = snaps[SHED].count;
     let conn_errors = totals.conn_errors.load(Ordering::Relaxed);
     let http_errors = totals.http_errors.load(Ordering::Relaxed);
+    let routed = std::mem::take(&mut *totals.routed.lock().unwrap());
 
     if args.json {
         // `--baseline` keeps only machine-stable fields: wall-clock
@@ -386,7 +347,7 @@ fn main() -> ExitCode {
                 .map(|(name, snap)| phase_json(name, snap, false))
                 .collect()
         };
-        let report = Json::obj(vec![
+        let mut members = vec![
             ("requests", Json::Num(args.requests as f64)),
             ("concurrency", Json::Num(args.concurrency as f64)),
             ("scale", Json::Num(args.scale as f64)),
@@ -412,8 +373,34 @@ fn main() -> ExitCode {
             ("conn_errors", Json::Num(conn_errors as f64)),
             ("http_errors", Json::Num(http_errors as f64)),
             ("phases", Json::Arr(phases)),
-        ]);
-        println!("{}", report.render());
+        ];
+        // Only when a router answered: direct backend runs keep the
+        // exact report schema the committed baseline pins.
+        if routed.seen {
+            members.push((
+                "routed",
+                Json::obj(vec![
+                    ("router_shed", Json::Num(routed.router_shed as f64)),
+                    ("backend_shed", Json::Num(routed.backend_shed as f64)),
+                    (
+                        "backends",
+                        Json::Arr(
+                            routed
+                                .backends
+                                .iter()
+                                .map(|(shard, count)| {
+                                    Json::obj(vec![
+                                        ("backend", Json::Str(shard.clone())),
+                                        ("requests", Json::Num(*count as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        println!("{}", Json::obj(members).render());
     } else {
         println!(
             "{} requests in {:.1} ms ({:.0} req/s), {} shed, {} reconnects ({})",
@@ -439,6 +426,19 @@ fn main() -> ExitCode {
                 snap.quantile(0.95),
                 snap.quantile(0.99),
                 snap.max_micros,
+            );
+        }
+        if routed.seen {
+            let per_backend: Vec<String> = routed
+                .backends
+                .iter()
+                .map(|(shard, count)| format!("backend {shard}: {count}"))
+                .collect();
+            println!(
+                "routed: {} (router_shed {}, backend_shed {})",
+                per_backend.join(", "),
+                routed.router_shed,
+                routed.backend_shed,
             );
         }
         println!("stats: {stats}");

@@ -1,0 +1,413 @@
+//! The connection-serving engine shared by the synthesis backend and
+//! the router tier: bounded accept queue, worker pool, keep-alive
+//! serving under absolute read deadlines, 503 load shedding, and the
+//! shutdown choreography (half-close every parked connection so idle
+//! workers wake immediately). The only thing that differs between
+//! tiers is how a parsed [`Request`] becomes a [`Response`] — the
+//! [`Service`] trait.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reshuffle_bench::json::Json;
+use reshuffle_obs::{Histogram, TraceId};
+
+use crate::http::{write_response_with, Conn, HttpError, Request};
+
+/// How one tier's engine binds, pools and bounds — the transport slice
+/// of `ServerConfig`/`RouterConfig`.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineConfig {
+    pub addr: String,
+    pub threads: usize,
+    pub queue_depth: usize,
+    pub request_timeout: Duration,
+    pub idle_timeout: Duration,
+    pub max_requests_per_conn: usize,
+    pub max_body_bytes: usize,
+    /// `X-Role` header stamped on engine-originated responses (shed
+    /// 503s, 400/408/413). `None` omits the header — the single-tier
+    /// server's wire format, byte-identical to before the router
+    /// existed.
+    pub role: Option<&'static str>,
+}
+
+/// Counters the engine owns (services layer their own on top).
+#[derive(Debug, Default)]
+pub(crate) struct EngineStats {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub shed: AtomicU64,
+    pub request_timeouts: AtomicU64,
+    pub bad_requests: AtomicU64,
+    pub write_errors: AtomicU64,
+}
+
+/// Everything the accept loop, workers and the service share.
+pub(crate) struct EngineState {
+    pub cfg: EngineConfig,
+    pub stats: EngineStats,
+    /// Whole-request service time: request parsed off the socket to
+    /// response written (or write failure).
+    pub request_hist: Histogram,
+    /// Accepted-connection wait from accept-queue enqueue to worker
+    /// pickup — the queueing delay the shed bound protects.
+    pub queue_wait_hist: Histogram,
+    /// Accepted sockets waiting for a worker, each stamped with its
+    /// enqueue instant so pickup records the queue-wait histogram.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    shutdown: (Mutex<bool>, Condvar),
+    /// Live connections by id (a `try_clone` of each worker's socket):
+    /// shutdown half-closes their read sides so workers parked on a
+    /// keep-alive idle wait wake immediately instead of riding out the
+    /// idle deadline.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
+    /// Per-request nonce feeding [`TraceId::derive`], so concurrent
+    /// requests for the same spec stay distinguishable.
+    pub req_seq: AtomicU64,
+    pub started: Instant,
+}
+
+impl EngineState {
+    pub fn new(cfg: EngineConfig) -> EngineState {
+        EngineState {
+            cfg,
+            stats: EngineStats::default(),
+            request_hist: Histogram::new(),
+            queue_wait_hist: Histogram::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            shutdown: (Mutex::new(false), Condvar::new()),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+            req_seq: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Blocks until a client posts `/shutdown` (or `begin_shutdown`
+    /// runs), or until `timeout` lapses when one is given. Returns
+    /// whether shutdown has begun.
+    pub fn wait_for_shutdown(&self, timeout: Option<Duration>) -> bool {
+        let (lock, cv) = &self.shutdown;
+        let mut down = lock.lock().unwrap();
+        match timeout {
+            None => {
+                while !*down {
+                    down = cv.wait(down).unwrap();
+                }
+                true
+            }
+            Some(timeout) => {
+                let deadline = Instant::now() + timeout;
+                while !*down {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    (down, _) = cv.wait_timeout(down, left).unwrap();
+                }
+                true
+            }
+        }
+    }
+
+    pub fn begin_shutdown(&self, addr: SocketAddr) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(addr);
+        // Unblock workers parked reading a keep-alive connection: the
+        // read half closes (their next read sees EOF) while any
+        // in-flight response still drains down the write half.
+        for conn in self.conns.lock().unwrap().values() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let (lock, cv) = &self.shutdown;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+}
+
+/// How a tier turns a parsed request into a response.
+pub(crate) trait Service: Send + Sync + 'static {
+    fn route(&self, request: &Request) -> Response;
+}
+
+/// One routed response: status, payload, its content type, the trace
+/// id to echo back as `X-Trace-Id`, and any extra headers (the router
+/// stamps `X-Backend`/`X-Role`).
+pub(crate) struct Response {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+    pub trace: TraceId,
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String, trace: TraceId) -> Response {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into_bytes(),
+            trace,
+            headers: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+pub(crate) fn error_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::Str(msg.to_string()))]).render()
+}
+
+/// An engine-originated error response: derived trace id, role header
+/// when the tier has one.
+fn engine_error(state: &EngineState, status: u16, msg: &str) -> Response {
+    let trace = TraceId::derive(0, state.req_seq.fetch_add(1, Ordering::Relaxed));
+    let response = Response::json(status, error_body(msg), trace);
+    match state.cfg.role {
+        Some(role) => response.with_header("X-Role", role),
+        None => response,
+    }
+}
+
+/// A running engine: accept thread plus worker pool, serving `svc`.
+pub(crate) struct Engine {
+    state: Arc<EngineState>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Binds `state.cfg.addr` and spawns the accept thread plus worker
+    /// pool (`threads == 0` resolves to available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start<S: Service>(state: Arc<EngineState>, svc: Arc<S>) -> io::Result<Engine> {
+        let listener = TcpListener::bind(&state.cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = match state.cfg.threads {
+            0 => std::thread::available_parallelism().map_or(2, usize::from),
+            n => n,
+        };
+        let acceptor = {
+            let state = state.clone();
+            std::thread::spawn(move || accept_loop(&state, &listener))
+        };
+        let workers = (0..threads)
+            .map(|_| {
+                let state = state.clone();
+                let svc = svc.clone();
+                std::thread::spawn(move || worker_loop(&state, &*svc))
+            })
+            .collect();
+        Ok(Engine {
+            state,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client posts `/shutdown`.
+    pub fn wait_for_shutdown(&self) {
+        self.state.wait_for_shutdown(None);
+    }
+
+    /// Stops accepting and drains the pool.
+    pub fn join(&mut self) {
+        self.state.begin_shutdown(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(state: &EngineState, listener: &TcpListener) {
+    loop {
+        let Ok((conn, _)) = listener.accept() else {
+            continue;
+        };
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = state.queue.lock().unwrap();
+        if queue.len() >= state.cfg.queue_depth {
+            drop(queue);
+            state.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let response = engine_error(state, 503, "server overloaded; retry later");
+            let trace_s = response.trace.to_string();
+            let mut extra: Vec<(&str, &str)> = vec![("X-Trace-Id", &trace_s)];
+            for (name, value) in &response.headers {
+                extra.push((name, value));
+            }
+            let mut conn = conn;
+            let _ = write_response_with(
+                &mut conn,
+                response.status,
+                &response.content_type,
+                &extra,
+                &response.body,
+                true,
+            );
+        } else {
+            queue.push_back((conn, Instant::now()));
+            drop(queue);
+            state.queue_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(state: &EngineState, svc: &dyn Service) {
+    loop {
+        let conn = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if state.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = state.queue_cv.wait(queue).unwrap();
+            }
+        };
+        match conn {
+            Some((conn, enqueued)) => {
+                state.queue_wait_hist.record(enqueued.elapsed());
+                handle_connection(state, svc, conn);
+            }
+            None => return,
+        }
+    }
+}
+
+/// Serves one accepted socket for its whole keep-alive lifetime,
+/// keeping it registered so shutdown can unpark an idle read.
+fn handle_connection(state: &EngineState, svc: &dyn Service, stream: TcpStream) {
+    state.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        state.conns.lock().unwrap().insert(id, clone);
+    }
+    serve_connection(state, svc, stream);
+    state.conns.lock().unwrap().remove(&id);
+}
+
+/// Writes one response, counting (and reporting) a vanished client as
+/// a write failure instead of a served request. Returns whether the
+/// connection is still usable.
+fn respond(state: &EngineState, conn: &mut Conn, response: &Response, close: bool) -> bool {
+    let trace_s = response.trace.to_string();
+    let mut extra: Vec<(&str, &str)> = vec![("X-Trace-Id", &trace_s)];
+    for (name, value) in &response.headers {
+        extra.push((name, value));
+    }
+    let written = conn.write_response_with(
+        response.status,
+        &response.content_type,
+        &extra,
+        &response.body,
+        close,
+    );
+    match written {
+        Ok(()) => true,
+        Err(_) => {
+            state.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+fn serve_connection(state: &EngineState, svc: &dyn Service, stream: TcpStream) {
+    let mut conn = Conn::new(stream);
+    let max = state.cfg.max_requests_per_conn.max(1);
+    for served in 1..=max {
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match conn.read_request(
+            state.cfg.max_body_bytes,
+            state.cfg.idle_timeout,
+            state.cfg.request_timeout,
+        ) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return, // peer done, or idle deadline
+            Err(HttpError::Timeout) => {
+                state.stats.request_timeouts.fetch_add(1, Ordering::Relaxed);
+                let msg = format!(
+                    "request not received within {:?}",
+                    state.cfg.request_timeout
+                );
+                respond(state, &mut conn, &engine_error(state, 408, &msg), true);
+                return;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                // Framing is lost after a protocol violation: close.
+                let msg = format!("malformed request: {msg}");
+                respond(state, &mut conn, &engine_error(state, 400, &msg), true);
+                return;
+            }
+            Err(HttpError::BodyTooLarge) => {
+                state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                // The oversized body was never read off the socket, so
+                // the next request cannot be framed: close.
+                let msg = format!("body exceeds the {} byte limit", state.cfg.max_body_bytes);
+                respond(state, &mut conn, &engine_error(state, 413, &msg), true);
+                return;
+            }
+            Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
+        };
+        state.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let t_serve = Instant::now();
+        let response = svc.route(&request);
+        let shutdown_requested = request.method == "POST" && request.path == "/shutdown";
+        let close = request.close
+            || served == max
+            || shutdown_requested
+            || state.stop.load(Ordering::SeqCst);
+        let usable = respond(state, &mut conn, &response, close);
+        state.request_hist.record(t_serve.elapsed());
+        if !usable {
+            return;
+        }
+        if shutdown_requested {
+            // Answer first, then take the service down.
+            state.begin_shutdown(
+                conn.local_addr()
+                    .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal socket address")),
+            );
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}

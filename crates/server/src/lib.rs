@@ -44,6 +44,11 @@
 //!    request, its pipeline stages and (at level 2) the per-shard BFS
 //!    work are emitted as JSON span lines sharing that id.
 //!
+//! For horizontal deployment the same binary also runs as a
+//! **fingerprint-sharded router** in front of N of these backends —
+//! see [`router`] — reusing the connection-serving engine, and
+//! exposing the same endpoint surface.
+//!
 //! # Endpoints
 //!
 //! | Method | Path | Body | Response |
@@ -63,16 +68,18 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+mod engine;
 mod flight;
 mod http;
+pub mod router;
+pub mod shard;
 
-use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use reshuffle::{
@@ -84,9 +91,13 @@ use reshuffle_obs::{FieldVal, HistSnapshot, Histogram, PromWriter, Tracer};
 use reshuffle_petri::parse_g;
 use reshuffle_sg::BuildOptions;
 
+use engine::{Engine, EngineConfig, EngineState, Response, Service};
+
+pub use client::{ClientConn, ClientResponse};
 pub use flight::{FlightResult, Follower, Join, LeaderGuard, SingleFlight};
 pub use http::{write_response, write_response_with, Conn, HttpError, Request};
 pub use reshuffle_obs::{RingSink, SinkHandle, TraceId};
+pub use router::{Router, RouterConfig};
 
 /// How the service binds, pools, bounds and persists.
 ///
@@ -146,6 +157,10 @@ pub struct ServerConfig {
     /// Snapshot file the cache is loaded from at startup and saved to
     /// at shutdown (`None` = in-memory only).
     pub cache_path: Option<PathBuf>,
+    /// This backend's shard index in a sharded deployment, reported in
+    /// `GET /stats` so a rollup can attribute numbers to backends
+    /// (`None` = standalone).
+    pub shard_id: Option<u64>,
     /// Trace verbosity: `0` disables tracing (one relaxed atomic load
     /// per would-be span), `1` traces requests and pipeline stages,
     /// `2` additionally traces per-shard BFS work. Defaults to the
@@ -167,6 +182,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             cache_capacity: None,
             cache_path: None,
+            shard_id: None,
             trace_level: std::env::var("RESHUFFLE_TRACE")
                 .ok()
                 .and_then(|v| v.trim().parse().ok())
@@ -239,6 +255,12 @@ impl ServerConfig {
         self
     }
 
+    /// Reports this backend as shard `id` in `GET /stats`.
+    pub fn with_shard_id(mut self, id: u64) -> ServerConfig {
+        self.shard_id = Some(id);
+        self
+    }
+
     /// Sets the trace verbosity (`0` off, `1` requests + stages, `2`
     /// also per-shard BFS).
     pub fn with_trace_level(mut self, level: u8) -> ServerConfig {
@@ -253,18 +275,15 @@ impl ServerConfig {
     }
 }
 
+/// Counters owned by the synthesis service (the transport counters —
+/// connections, requests, shed, timeouts on the read path — live in
+/// the engine).
 #[derive(Debug, Default)]
-struct Stats {
-    connections: AtomicU64,
-    requests: AtomicU64,
+struct SynthStats {
     synth_requests: AtomicU64,
     executed: AtomicU64,
     coalesced: AtomicU64,
-    shed: AtomicU64,
     timeouts: AtomicU64,
-    request_timeouts: AtomicU64,
-    bad_requests: AtomicU64,
-    write_errors: AtomicU64,
 }
 
 /// Number of reportable pipeline stages (the five real stages plus the
@@ -297,80 +316,27 @@ const STAGE_NAMES: [&str; NUM_STAGES] = [
     "cache_hit",
 ];
 
-/// Latency histograms behind `GET /metrics`. Recording is lock-free
-/// (sharded atomics per histogram); `/metrics` merges the shards into
-/// snapshots on read.
-struct Metrics {
-    /// Whole-request service time: request parsed off the socket to
-    /// response written (or write failure).
-    request: Histogram,
-    /// Accepted-connection wait from accept-queue enqueue to worker
-    /// pickup — the queueing delay the shed bound protects.
-    queue_wait: Histogram,
-    /// Coalesced-follower wait on the in-flight leader's publication.
-    flight_wait: Histogram,
-    /// Per-stage pipeline wall time, indexed by [`stage_index`].
-    stages: [Histogram; NUM_STAGES],
-}
-
-impl Metrics {
-    fn new() -> Metrics {
-        Metrics {
-            request: Histogram::new(),
-            queue_wait: Histogram::new(),
-            flight_wait: Histogram::new(),
-            stages: std::array::from_fn(|_| Histogram::new()),
-        }
-    }
-}
-
 /// `Ok(stable result JSON)` or `Err((status, error message))` — what a
 /// flight leader publishes to its followers.
 type SynthOutcome = Result<String, (u16, String)>;
 
-struct Shared {
+/// The synthesis backend: everything above the transport — the cache,
+/// the single-flight registry, the pipeline, and the ops surface.
+struct SynthService {
     cfg: ServerConfig,
+    engine: Arc<EngineState>,
     cache: SynthCache,
     flights: SingleFlight<SynthOutcome>,
-    /// Accepted sockets waiting for a worker, each stamped with its
-    /// enqueue instant so pickup records the queue-wait histogram.
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    queue_cv: Condvar,
-    stop: AtomicBool,
-    shutdown: (Mutex<bool>, Condvar),
-    /// Live connections by id (a `try_clone` of each worker's socket):
-    /// shutdown half-closes their read sides so workers parked on a
-    /// keep-alive idle wait wake immediately instead of riding out the
-    /// idle deadline.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    conn_seq: AtomicU64,
-    /// Per-request nonce feeding [`TraceId::derive`], so concurrent
-    /// requests for the same spec stay distinguishable.
-    req_seq: AtomicU64,
-    stats: Stats,
+    stats: SynthStats,
     stage_totals: StageTotals,
-    metrics: Metrics,
+    /// Coalesced-follower wait on the in-flight leader's publication.
+    flight_wait: Histogram,
+    /// Per-stage pipeline wall time, indexed by [`stage_index`].
+    stage_hists: [Histogram; NUM_STAGES],
     tracer: Tracer,
-    started: Instant,
 }
 
-impl Shared {
-    fn begin_shutdown(&self, addr: SocketAddr) {
-        self.stop.store(true, Ordering::SeqCst);
-        self.queue_cv.notify_all();
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(addr);
-        // Unblock workers parked reading a keep-alive connection: the
-        // read half closes (their next read sees EOF) while any
-        // in-flight response still drains down the write half.
-        for conn in self.conns.lock().unwrap().values() {
-            let _ = conn.shutdown(Shutdown::Read);
-        }
-        let (lock, cv) = &self.shutdown;
-        *lock.lock().unwrap() = true;
-        cv.notify_all();
-    }
-
+impl SynthService {
     fn accumulate_stages(&self, diag: &reshuffle::Diagnostics) {
         let mut totals = self.stage_totals.totals.lock().unwrap();
         for report in &diag.stages {
@@ -378,366 +344,16 @@ impl Shared {
             let slot = &mut totals[i];
             slot.0 += 1;
             slot.1 += report.wall;
-            self.metrics.stages[i].record(report.wall);
-        }
-    }
-}
-
-/// A running service: accept thread plus worker pool.
-///
-/// Start with [`Server::start`]; take the service down with
-/// [`Server::stop`] (or let a client `POST /shutdown` and pair it with
-/// [`Server::wait_for_shutdown`] + `stop`, the binary's lifecycle).
-pub struct Server {
-    shared: Arc<Shared>,
-    addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Binds, recovers the cache (snapshot + journal replay, when a
-    /// path is configured), arms the fsync'd journal so every executed
-    /// synthesis is immediately crash-durable, and spawns the accept
-    /// thread plus worker pool.
-    ///
-    /// # Errors
-    ///
-    /// Bind failures and unreadable/corrupt cache snapshots or
-    /// journals (a torn final journal record — a crash mid-append —
-    /// is recovered from, not an error).
-    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
-        let cache = match &cfg.cache_path {
-            Some(path) => {
-                let store = FileStore::new(path);
-                let recovery = SynthCache::recover(&store)?;
-                recovery.cache.attach_journal(Arc::new(store));
-                recovery.cache
-            }
-            None => SynthCache::new(),
-        };
-        cache.set_capacity(cfg.cache_capacity);
-        let listener = TcpListener::bind(&cfg.addr)?;
-        let addr = listener.local_addr()?;
-        let threads = match cfg.threads {
-            0 => std::thread::available_parallelism().map_or(2, usize::from),
-            n => n,
-        };
-        let tracer = Tracer::new(
-            cfg.trace_level,
-            cfg.trace_sink.clone().unwrap_or_else(SinkHandle::stderr),
-        );
-        let shared = Arc::new(Shared {
-            cfg,
-            cache,
-            flights: SingleFlight::new(),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            stop: AtomicBool::new(false),
-            shutdown: (Mutex::new(false), Condvar::new()),
-            conns: Mutex::new(HashMap::new()),
-            conn_seq: AtomicU64::new(0),
-            req_seq: AtomicU64::new(0),
-            stats: Stats::default(),
-            stage_totals: StageTotals::default(),
-            metrics: Metrics::new(),
-            tracer,
-            started: Instant::now(),
-        });
-
-        let acceptor = {
-            let shared = shared.clone();
-            std::thread::spawn(move || accept_loop(&shared, &listener))
-        };
-        let workers = (0..threads)
-            .map(|_| {
-                let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        Ok(Server {
-            shared,
-            addr,
-            acceptor: Some(acceptor),
-            workers,
-        })
-    }
-
-    /// The bound address (resolves `:0` to the real port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The service's synthesis cache.
-    pub fn cache(&self) -> &SynthCache {
-        &self.shared.cache
-    }
-
-    /// Blocks until a client posts `/shutdown`.
-    pub fn wait_for_shutdown(&self) {
-        let (lock, cv) = &self.shared.shutdown;
-        let mut down = lock.lock().unwrap();
-        while !*down {
-            down = cv.wait(down).unwrap();
-        }
-    }
-
-    /// Stops accepting, drains the pool, and compacts the cache — a
-    /// fresh snapshot replacing the journal — when a path is
-    /// configured.
-    ///
-    /// # Errors
-    ///
-    /// Snapshot write failures; the threads are already down by then
-    /// (and the journal is left in place, so even a failed compaction
-    /// loses nothing).
-    pub fn stop(mut self) -> io::Result<()> {
-        self.join_threads();
-        if let Some(path) = &self.shared.cfg.cache_path {
-            self.shared.cache.compact_to(&FileStore::new(path))?;
-        }
-        Ok(())
-    }
-
-    /// Tears the service down *without* the shutdown snapshot — the
-    /// crash-simulation path (the in-process analogue of `kill -9`
-    /// minus leaked threads): only the append-only journal survives,
-    /// which is exactly what [`Server::start`] recovers from.
-    pub fn abort(mut self) {
-        self.join_threads();
-    }
-
-    fn join_threads(&mut self) {
-        self.shared.begin_shutdown(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-fn accept_loop(shared: &Shared, listener: &TcpListener) {
-    loop {
-        let Ok((conn, _)) = listener.accept() else {
-            continue;
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let mut queue = shared.queue.lock().unwrap();
-        if queue.len() >= shared.cfg.queue_depth {
-            drop(queue);
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            let trace = TraceId::derive(0, shared.req_seq.fetch_add(1, Ordering::Relaxed));
-            let mut conn = conn;
-            let _ = write_response_with(
-                &mut conn,
-                503,
-                "application/json",
-                &[("X-Trace-Id", &trace.to_string())],
-                error_body("server overloaded; retry later").as_bytes(),
-                true,
-            );
-        } else {
-            queue.push_back((conn, Instant::now()));
-            drop(queue);
-            shared.queue_cv.notify_one();
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut queue = shared.queue.lock().unwrap();
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
-                }
-                if shared.stop.load(Ordering::SeqCst) {
-                    break None;
-                }
-                queue = shared.queue_cv.wait(queue).unwrap();
-            }
-        };
-        match conn {
-            Some((conn, enqueued)) => {
-                shared.metrics.queue_wait.record(enqueued.elapsed());
-                handle_connection(shared, conn);
-            }
-            None => return,
-        }
-    }
-}
-
-fn error_body(msg: &str) -> String {
-    Json::obj(vec![("error", Json::Str(msg.to_string()))]).render()
-}
-
-/// Serves one accepted socket for its whole keep-alive lifetime,
-/// keeping it registered so shutdown can unpark an idle read.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-    let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-    if let Ok(clone) = stream.try_clone() {
-        shared.conns.lock().unwrap().insert(id, clone);
-    }
-    serve_connection(shared, stream);
-    shared.conns.lock().unwrap().remove(&id);
-}
-
-/// One routed response: status, payload, its content type, and the
-/// trace id to echo back as `X-Trace-Id`.
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    body: String,
-    trace: TraceId,
-}
-
-impl Response {
-    fn json(status: u16, body: String, trace: TraceId) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            body,
-            trace,
-        }
-    }
-}
-
-/// Writes one response, counting (and reporting) a vanished client as
-/// a write failure instead of a served request. Returns whether the
-/// connection is still usable.
-fn respond(shared: &Shared, conn: &mut Conn, response: &Response, close: bool) -> bool {
-    let written = conn.write_response_with(
-        response.status,
-        response.content_type,
-        &[("X-Trace-Id", &response.trace.to_string())],
-        response.body.as_bytes(),
-        close,
-    );
-    match written {
-        Ok(()) => true,
-        Err(_) => {
-            shared.stats.write_errors.fetch_add(1, Ordering::Relaxed);
-            false
-        }
-    }
-}
-
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let mut conn = Conn::new(stream);
-    let max = shared.cfg.max_requests_per_conn.max(1);
-    for served in 1..=max {
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let error = |status: u16, msg: &str| {
-            let trace = TraceId::derive(0, shared.req_seq.fetch_add(1, Ordering::Relaxed));
-            Response::json(status, error_body(msg), trace)
-        };
-        let request = match conn.read_request(
-            shared.cfg.max_body_bytes,
-            shared.cfg.idle_timeout,
-            shared.cfg.request_timeout,
-        ) {
-            Ok(request) => request,
-            Err(HttpError::Closed) => return, // peer done, or idle deadline
-            Err(HttpError::Timeout) => {
-                shared
-                    .stats
-                    .request_timeouts
-                    .fetch_add(1, Ordering::Relaxed);
-                let msg = format!(
-                    "request not received within {:?}",
-                    shared.cfg.request_timeout
-                );
-                respond(shared, &mut conn, &error(408, &msg), true);
-                return;
-            }
-            Err(HttpError::Malformed(msg)) => {
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                // Framing is lost after a protocol violation: close.
-                let msg = format!("malformed request: {msg}");
-                respond(shared, &mut conn, &error(400, &msg), true);
-                return;
-            }
-            Err(HttpError::BodyTooLarge) => {
-                shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-                // The oversized body was never read off the socket, so
-                // the next request cannot be framed: close.
-                let msg = format!("body exceeds the {} byte limit", shared.cfg.max_body_bytes);
-                respond(shared, &mut conn, &error(413, &msg), true);
-                return;
-            }
-            Err(HttpError::Io(_)) => return, // peer gone; nothing to answer
-        };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let t_serve = Instant::now();
-        let response = route(shared, &request);
-        let shutdown_requested = request.method == "POST" && request.path == "/shutdown";
-        let close = request.close
-            || served == max
-            || shutdown_requested
-            || shared.stop.load(Ordering::SeqCst);
-        let usable = respond(shared, &mut conn, &response, close);
-        shared.metrics.request.record(t_serve.elapsed());
-        if !usable {
-            return;
-        }
-        if shutdown_requested {
-            // Answer first, then take the service down.
-            shared.begin_shutdown(
-                conn.local_addr()
-                    .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal socket address")),
-            );
-            return;
-        }
-        if close {
-            return;
-        }
-    }
-}
-
-fn route(shared: &Shared, request: &Request) -> Response {
-    // Propagate a parseable client-supplied trace id; otherwise derive
-    // one from a fresh nonce (`/synthesize` upgrades its derived id to
-    // carry the run cache key once it has computed one).
-    let nonce = shared.req_seq.fetch_add(1, Ordering::Relaxed);
-    let client = request.trace_id.as_deref().and_then(TraceId::parse);
-    let trace = client.unwrap_or_else(|| TraceId::derive(0, nonce));
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/synthesize") => handle_synthesize(shared, &request.body, client, nonce),
-        ("GET", "/stats") => Response::json(200, render_stats(shared), trace),
-        ("GET", "/metrics") => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: render_metrics(shared),
-            trace,
-        },
-        ("GET", "/healthz") => Response::json(200, Json::Str("ok".into()).render(), trace),
-        ("POST", "/shutdown") => Response::json(200, Json::Str("ok".into()).render(), trace),
-        (_, "/synthesize" | "/stats" | "/metrics" | "/healthz" | "/shutdown") => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            Response::json(
-                405,
-                error_body(&format!("{} not allowed here", request.method)),
-                trace,
-            )
-        }
-        (_, path) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            Response::json(404, error_body(&format!("no such endpoint: {path}")), trace)
+            self.stage_hists[i].record(report.wall);
         }
     }
 }
 
 /// Maps a request's `options` member onto [`PipelineOptions`] — the
-/// same vocabulary as the builder setters.
-fn options_from_json(spec: Option<&Json>) -> Result<PipelineOptions, String> {
+/// same vocabulary as the builder setters. The router parses options
+/// with this too, so its routing key agrees with the backend's cache
+/// key.
+pub(crate) fn options_from_json(spec: Option<&Json>) -> Result<PipelineOptions, String> {
     let mut opts = PipelineOptions::new();
     let Some(spec) = spec else {
         return Ok(opts);
@@ -823,133 +439,397 @@ fn num_field(value: &Json, what: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{what} must be a non-negative number"))
 }
 
-fn handle_synthesize(
-    shared: &Shared,
-    body: &[u8],
-    client_trace: Option<TraceId>,
-    nonce: u64,
-) -> Response {
-    shared.stats.synth_requests.fetch_add(1, Ordering::Relaxed);
-    // Until the cache key exists, errors answer under a nonce-only id.
-    let early = client_trace.unwrap_or_else(|| TraceId::derive(0, nonce));
-    let parsed = std::str::from_utf8(body)
-        .map_err(|_| "body is not UTF-8".to_string())
-        .and_then(json::parse);
-    let request = match parsed {
-        Ok(v) => v,
-        Err(e) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Response::json(400, error_body(&format!("bad JSON: {e}")), early);
-        }
-    };
-    let Some(g) = request.get("g").and_then(Json::as_str) else {
-        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-        return Response::json(400, error_body("missing string member \"g\""), early);
-    };
-    let opts = match options_from_json(request.get("options")) {
-        Ok(opts) => opts,
-        Err(e) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return Response::json(400, error_body(&e), early);
-        }
-    };
-    let stg = match parse_g(g) {
-        Ok(stg) => stg,
-        Err(e) => return Response::json(422, error_body(&format!("parse: {e}")), early),
-    };
-    let key = run_cache_key(&stg, &opts);
-    let trace = client_trace.unwrap_or_else(|| TraceId::derive(key, nonce));
-    let root = shared.tracer.root(trace);
-    let sp = root.span("request");
-
-    let (status, body, coalesced) = match shared.flights.join(key) {
-        Join::Leader(guard) => {
-            let outcome = run_pipeline(shared, key, &stg, &opts, sp.ctx());
-            guard.publish(outcome.clone().map(|(stable, _)| stable));
-            match outcome {
-                Ok((stable, cache_hit)) => (200, synth_response(cache_hit, false, &stable), false),
-                Err((status, msg)) => (status, error_body(&msg), false),
-            }
-        }
-        Join::Follower(follower) => {
-            let t_wait = Instant::now();
-            let result = follower.wait(shared.cfg.request_timeout);
-            shared.metrics.flight_wait.record(t_wait.elapsed());
-            match result {
-                FlightResult::Done(Ok(stable)) => {
-                    shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                    (200, synth_response(false, true, &stable), true)
-                }
-                FlightResult::Done(Err((status, msg))) => {
-                    shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                    (status, error_body(&msg), true)
-                }
-                FlightResult::Abandoned => (500, error_body("in-flight synthesis failed"), true),
-                FlightResult::TimedOut => {
-                    shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    (
-                        504,
-                        error_body("timed out waiting for in-flight synthesis"),
-                        true,
-                    )
-                }
-            }
-        }
-    };
-    sp.end(&[
-        ("status", FieldVal::U64(u64::from(status))),
-        ("coalesced", FieldVal::U64(u64::from(coalesced))),
-    ]);
-    Response::json(status, body, trace)
+fn error_body(msg: &str) -> String {
+    engine::error_body(msg)
 }
 
-/// Runs the pipeline under the shared cache, returning the stable
-/// result JSON (identical for every coalesced waiter) plus whether the
-/// run was a cache hit.
-fn run_pipeline(
-    shared: &Shared,
-    key: u64,
-    stg: &reshuffle::Stg,
-    opts: &PipelineOptions,
-    span: reshuffle_obs::SpanCtx,
-) -> Result<(String, bool), (u16, String)> {
-    let done = Pipeline::from_stg(stg)
-        .with_cache(&shared.cache)
-        .with_trace(span)
-        .run(opts)
-        .map_err(|e| (422u16, e.to_string()))?;
-    let cache_hit = done.diagnostics().cache_hits == 1;
-    if !cache_hit {
-        shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+impl Service for SynthService {
+    fn route(&self, request: &Request) -> Response {
+        // Propagate a parseable client-supplied trace id; otherwise
+        // derive one from a fresh nonce (`/synthesize` upgrades its
+        // derived id to carry the run cache key once it has computed
+        // one).
+        let nonce = self.engine.req_seq.fetch_add(1, Ordering::Relaxed);
+        let client = request.trace_id.as_deref().and_then(TraceId::parse);
+        let trace = client.unwrap_or_else(|| TraceId::derive(0, nonce));
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/synthesize") => self.handle_synthesize(&request.body, client, nonce),
+            ("GET", "/stats") => Response::json(200, self.render_stats(), trace),
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4".to_string(),
+                body: self.render_metrics().into_bytes(),
+                trace,
+                headers: Vec::new(),
+            },
+            ("GET", "/healthz") => Response::json(200, Json::Str("ok".into()).render(), trace),
+            ("POST", "/shutdown") => Response::json(200, Json::Str("ok".into()).render(), trace),
+            (_, "/synthesize" | "/stats" | "/metrics" | "/healthz" | "/shutdown") => {
+                self.engine
+                    .stats
+                    .bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    405,
+                    error_body(&format!("{} not allowed here", request.method)),
+                    trace,
+                )
+            }
+            (_, path) => {
+                self.engine
+                    .stats
+                    .bad_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::json(404, error_body(&format!("no such endpoint: {path}")), trace)
+            }
+        }
     }
-    // Hit runs report too: the `cache_hit` pseudo-stage keeps the hit
-    // path's lookup cost visible in `/stats` and `/metrics`.
-    shared.accumulate_stages(done.diagnostics());
-    let s = done.synthesis();
-    let strings =
-        |items: &[String]| Json::Arr(items.iter().map(|i| Json::Str(i.clone())).collect());
-    let result = Json::obj(vec![
-        ("key", Json::Str(format!("{key:#018x}"))),
-        ("model", Json::Str(s.stg.name.clone())),
-        (
-            "signals",
-            Json::Arr(
-                s.netlist
-                    .signals()
-                    .iter()
-                    .map(|sig| Json::Str(sig.name.clone()))
-                    .collect(),
+}
+
+impl SynthService {
+    fn handle_synthesize(
+        &self,
+        body: &[u8],
+        client_trace: Option<TraceId>,
+        nonce: u64,
+    ) -> Response {
+        self.stats.synth_requests.fetch_add(1, Ordering::Relaxed);
+        let bad_request = || {
+            self.engine
+                .stats
+                .bad_requests
+                .fetch_add(1, Ordering::Relaxed);
+        };
+        // Until the cache key exists, errors answer under a nonce-only
+        // id.
+        let early = client_trace.unwrap_or_else(|| TraceId::derive(0, nonce));
+        let parsed = std::str::from_utf8(body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(json::parse);
+        let request = match parsed {
+            Ok(v) => v,
+            Err(e) => {
+                bad_request();
+                return Response::json(400, error_body(&format!("bad JSON: {e}")), early);
+            }
+        };
+        let Some(g) = request.get("g").and_then(Json::as_str) else {
+            bad_request();
+            return Response::json(400, error_body("missing string member \"g\""), early);
+        };
+        let opts = match options_from_json(request.get("options")) {
+            Ok(opts) => opts,
+            Err(e) => {
+                bad_request();
+                return Response::json(400, error_body(&e), early);
+            }
+        };
+        let stg = match parse_g(g) {
+            Ok(stg) => stg,
+            Err(e) => return Response::json(422, error_body(&format!("parse: {e}")), early),
+        };
+        let key = run_cache_key(&stg, &opts);
+        let trace = client_trace.unwrap_or_else(|| TraceId::derive(key, nonce));
+        let root = self.tracer.root(trace);
+        let sp = root.span("request");
+
+        let (status, body, coalesced) = match self.flights.join(key) {
+            Join::Leader(guard) => {
+                let outcome = self.run_pipeline(key, &stg, &opts, sp.ctx());
+                guard.publish(outcome.clone().map(|(stable, _)| stable));
+                match outcome {
+                    Ok((stable, cache_hit)) => {
+                        (200, synth_response(cache_hit, false, &stable), false)
+                    }
+                    Err((status, msg)) => (status, error_body(&msg), false),
+                }
+            }
+            Join::Follower(follower) => {
+                let t_wait = Instant::now();
+                let result = follower.wait(self.cfg.request_timeout);
+                self.flight_wait.record(t_wait.elapsed());
+                match result {
+                    FlightResult::Done(Ok(stable)) => {
+                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        (200, synth_response(false, true, &stable), true)
+                    }
+                    FlightResult::Done(Err((status, msg))) => {
+                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        (status, error_body(&msg), true)
+                    }
+                    FlightResult::Abandoned => {
+                        (500, error_body("in-flight synthesis failed"), true)
+                    }
+                    FlightResult::TimedOut => {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        (
+                            504,
+                            error_body("timed out waiting for in-flight synthesis"),
+                            true,
+                        )
+                    }
+                }
+            }
+        };
+        sp.end(&[
+            ("status", FieldVal::U64(u64::from(status))),
+            ("coalesced", FieldVal::U64(u64::from(coalesced))),
+        ]);
+        Response::json(status, body, trace)
+    }
+
+    /// Runs the pipeline under the shared cache, returning the stable
+    /// result JSON (identical for every coalesced waiter) plus whether
+    /// the run was a cache hit.
+    fn run_pipeline(
+        &self,
+        key: u64,
+        stg: &reshuffle::Stg,
+        opts: &PipelineOptions,
+        span: reshuffle_obs::SpanCtx,
+    ) -> Result<(String, bool), (u16, String)> {
+        let done = Pipeline::from_stg(stg)
+            .with_cache(&self.cache)
+            .with_trace(span)
+            .run(opts)
+            .map_err(|e| (422u16, e.to_string()))?;
+        let cache_hit = done.diagnostics().cache_hits == 1;
+        if !cache_hit {
+            self.stats.executed.fetch_add(1, Ordering::Relaxed);
+        }
+        // Hit runs report too: the `cache_hit` pseudo-stage keeps the
+        // hit path's lookup cost visible in `/stats` and `/metrics`.
+        self.accumulate_stages(done.diagnostics());
+        let s = done.synthesis();
+        let strings =
+            |items: &[String]| Json::Arr(items.iter().map(|i| Json::Str(i.clone())).collect());
+        let result = Json::obj(vec![
+            ("key", Json::Str(format!("{key:#018x}"))),
+            ("model", Json::Str(s.stg.name.clone())),
+            (
+                "signals",
+                Json::Arr(
+                    s.netlist
+                        .signals()
+                        .iter()
+                        .map(|sig| Json::Str(sig.name.clone()))
+                        .collect(),
+                ),
             ),
-        ),
-        ("inserted", strings(&s.inserted)),
-        (
-            "moves",
-            Json::Arr(s.move_labels().map(|l| Json::Str(l.to_string())).collect()),
-        ),
-        ("expansion", strings(&s.expansion)),
-        ("netlist", Json::Str(s.netlist.describe())),
-    ]);
-    Ok((result.render(), cache_hit))
+            ("inserted", strings(&s.inserted)),
+            (
+                "moves",
+                Json::Arr(s.move_labels().map(|l| Json::Str(l.to_string())).collect()),
+            ),
+            ("expansion", strings(&s.expansion)),
+            ("netlist", Json::Str(s.netlist.describe())),
+        ]);
+        Ok((result.render(), cache_hit))
+    }
+
+    fn render_stats(&self) -> String {
+        let totals = self.stage_totals.totals.lock().unwrap();
+        let stages = Json::Arr(
+            STAGE_NAMES
+                .iter()
+                .zip(totals.iter())
+                .filter(|(_, (runs, _))| *runs > 0)
+                .map(|(name, (runs, wall))| {
+                    Json::obj(vec![
+                        ("stage", Json::Str(name.to_string())),
+                        ("runs", Json::Num(*runs as f64)),
+                        ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+                    ])
+                })
+                .collect(),
+        );
+        drop(totals);
+        let stat = |counter: &AtomicU64| Json::Num(counter.load(Ordering::Relaxed) as f64);
+        let cache = &self.cache;
+        let e = &self.engine.stats;
+        Json::obj(vec![
+            ("role", Json::Str("backend".to_string())),
+            (
+                "shard_id",
+                self.cfg
+                    .shard_id
+                    .map_or(Json::Null, |id| Json::Num(id as f64)),
+            ),
+            (
+                "uptime_ms",
+                Json::Num(self.engine.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("connections", stat(&e.connections)),
+            ("requests", stat(&e.requests)),
+            ("synth_requests", stat(&self.stats.synth_requests)),
+            ("executed", stat(&self.stats.executed)),
+            ("coalesced", stat(&self.stats.coalesced)),
+            ("shed", stat(&e.shed)),
+            ("timeouts", stat(&self.stats.timeouts)),
+            ("request_timeouts", stat(&e.request_timeouts)),
+            ("bad_requests", stat(&e.bad_requests)),
+            ("write_errors", stat(&e.write_errors)),
+            ("in_flight", Json::Num(self.flights.in_flight() as f64)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("entries", Json::Num(cache.len() as f64)),
+                    (
+                        "capacity",
+                        cache.capacity().map_or(Json::Null, |c| Json::Num(c as f64)),
+                    ),
+                    ("hits", Json::Num(cache.hits() as f64)),
+                    ("misses", Json::Num(cache.misses() as f64)),
+                    ("shared_hits", Json::Num(cache.shared_hits() as f64)),
+                    ("evictions", Json::Num(cache.evictions() as f64)),
+                    ("journal_appends", Json::Num(cache.journal_appends() as f64)),
+                    ("journal_errors", Json::Num(cache.journal_errors() as f64)),
+                ]),
+            ),
+            ("stages", stages),
+        ])
+        .render()
+    }
+
+    /// The `GET /metrics` document: every `/stats` counter as a
+    /// Prometheus counter/gauge, plus the latency histograms
+    /// (`_bucket`/`_sum`/`_count`, bounds in seconds).
+    fn render_metrics(&self) -> String {
+        let mut w = PromWriter::new();
+        let stat = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let e = &self.engine.stats;
+        w.counter(
+            "reshuffle_connections_total",
+            "Connections accepted.",
+            stat(&e.connections),
+        );
+        w.counter(
+            "reshuffle_requests_total",
+            "HTTP requests parsed off connections.",
+            stat(&e.requests),
+        );
+        w.counter(
+            "reshuffle_synth_requests_total",
+            "POST /synthesize requests.",
+            stat(&self.stats.synth_requests),
+        );
+        w.counter(
+            "reshuffle_synth_executed_total",
+            "Synthesize runs that executed the pipeline (cache misses).",
+            stat(&self.stats.executed),
+        );
+        w.counter(
+            "reshuffle_synth_coalesced_total",
+            "Synthesize requests served by another request's in-flight run.",
+            stat(&self.stats.coalesced),
+        );
+        w.counter(
+            "reshuffle_shed_total",
+            "Connections shed with 503 at the accept queue.",
+            stat(&e.shed),
+        );
+        w.counter(
+            "reshuffle_follower_timeouts_total",
+            "Coalesced waits that lapsed the request timeout (504).",
+            stat(&self.stats.timeouts),
+        );
+        w.counter(
+            "reshuffle_request_timeouts_total",
+            "Requests that lapsed the read deadline (408).",
+            stat(&e.request_timeouts),
+        );
+        w.counter(
+            "reshuffle_bad_requests_total",
+            "Malformed, oversized or unroutable requests.",
+            stat(&e.bad_requests),
+        );
+        w.counter(
+            "reshuffle_write_errors_total",
+            "Responses that failed to write (client gone).",
+            stat(&e.write_errors),
+        );
+        let cache = &self.cache;
+        w.counter(
+            "reshuffle_cache_hits_total",
+            "Synthesis-cache hits.",
+            cache.hits(),
+        );
+        w.counter(
+            "reshuffle_cache_misses_total",
+            "Synthesis-cache misses.",
+            cache.misses(),
+        );
+        w.counter(
+            "reshuffle_cache_shared_hits_total",
+            "Expansion candidates served from the shared cache.",
+            cache.shared_hits(),
+        );
+        w.counter(
+            "reshuffle_cache_evictions_total",
+            "LRU evictions from the bounded cache.",
+            cache.evictions(),
+        );
+        w.counter(
+            "reshuffle_cache_journal_appends_total",
+            "Syntheses appended to the crash journal.",
+            cache.journal_appends(),
+        );
+        w.counter(
+            "reshuffle_cache_journal_errors_total",
+            "Failed journal appends.",
+            cache.journal_errors(),
+        );
+        w.gauge(
+            "reshuffle_cache_entries",
+            "Entries resident in the synthesis cache.",
+            cache.len() as f64,
+        );
+        w.gauge(
+            "reshuffle_in_flight",
+            "Synthesize flights currently executing.",
+            self.flights.in_flight() as f64,
+        );
+        if let Some(id) = self.cfg.shard_id {
+            w.gauge(
+                "reshuffle_shard_id",
+                "This backend's shard index in the sharded deployment.",
+                id as f64,
+            );
+        }
+        w.gauge(
+            "reshuffle_uptime_seconds",
+            "Seconds since the server started.",
+            self.engine.started.elapsed().as_secs_f64(),
+        );
+        w.histogram(
+            "reshuffle_request_duration_seconds",
+            "Request service time, request parsed to response written.",
+            &self.engine.request_hist.snapshot(),
+        );
+        w.histogram(
+            "reshuffle_queue_wait_seconds",
+            "Accepted-connection wait from accept-queue enqueue to worker pickup.",
+            &self.engine.queue_wait_hist.snapshot(),
+        );
+        w.histogram(
+            "reshuffle_flight_wait_seconds",
+            "Coalesced follower wait on the in-flight leader.",
+            &self.flight_wait.snapshot(),
+        );
+        let snaps: Vec<HistSnapshot> = self.stage_hists.iter().map(Histogram::snapshot).collect();
+        let labels: Vec<[(&str, &str); 1]> = STAGE_NAMES.iter().map(|n| [("stage", *n)]).collect();
+        let series: Vec<(&[(&str, &str)], &HistSnapshot)> = labels
+            .iter()
+            .zip(snaps.iter())
+            .map(|(l, snap)| (l.as_slice(), snap))
+            .collect();
+        w.histogram_family(
+            "reshuffle_stage_duration_seconds",
+            "Per-stage pipeline wall time (cache_hit is the hit path's lookup latency).",
+            &series,
+        );
+        w.finish()
+    }
 }
 
 fn synth_response(cache_hit: bool, coalesced: bool, stable: &str) -> String {
@@ -959,196 +839,104 @@ fn synth_response(cache_hit: bool, coalesced: bool, stable: &str) -> String {
     format!("{{\"cache_hit\":{cache_hit},\"coalesced\":{coalesced},\"result\":{stable}}}")
 }
 
-fn render_stats(shared: &Shared) -> String {
-    let totals = shared.stage_totals.totals.lock().unwrap();
-    let stages = Json::Arr(
-        STAGE_NAMES
-            .iter()
-            .zip(totals.iter())
-            .filter(|(_, (runs, _))| *runs > 0)
-            .map(|(name, (runs, wall))| {
-                Json::obj(vec![
-                    ("stage", Json::Str(name.to_string())),
-                    ("runs", Json::Num(*runs as f64)),
-                    ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
-                ])
-            })
-            .collect(),
-    );
-    drop(totals);
-    let stat = |counter: &AtomicU64| Json::Num(counter.load(Ordering::Relaxed) as f64);
-    let cache = &shared.cache;
-    Json::obj(vec![
-        (
-            "uptime_ms",
-            Json::Num(shared.started.elapsed().as_secs_f64() * 1e3),
-        ),
-        ("connections", stat(&shared.stats.connections)),
-        ("requests", stat(&shared.stats.requests)),
-        ("synth_requests", stat(&shared.stats.synth_requests)),
-        ("executed", stat(&shared.stats.executed)),
-        ("coalesced", stat(&shared.stats.coalesced)),
-        ("shed", stat(&shared.stats.shed)),
-        ("timeouts", stat(&shared.stats.timeouts)),
-        ("request_timeouts", stat(&shared.stats.request_timeouts)),
-        ("bad_requests", stat(&shared.stats.bad_requests)),
-        ("write_errors", stat(&shared.stats.write_errors)),
-        ("in_flight", Json::Num(shared.flights.in_flight() as f64)),
-        (
-            "cache",
-            Json::obj(vec![
-                ("entries", Json::Num(cache.len() as f64)),
-                (
-                    "capacity",
-                    cache.capacity().map_or(Json::Null, |c| Json::Num(c as f64)),
-                ),
-                ("hits", Json::Num(cache.hits() as f64)),
-                ("misses", Json::Num(cache.misses() as f64)),
-                ("shared_hits", Json::Num(cache.shared_hits() as f64)),
-                ("evictions", Json::Num(cache.evictions() as f64)),
-                ("journal_appends", Json::Num(cache.journal_appends() as f64)),
-                ("journal_errors", Json::Num(cache.journal_errors() as f64)),
-            ]),
-        ),
-        ("stages", stages),
-    ])
-    .render()
+/// A running service: accept thread plus worker pool.
+///
+/// Start with [`Server::start`]; take the service down with
+/// [`Server::stop`] (or let a client `POST /shutdown` and pair it with
+/// [`Server::wait_for_shutdown`] + `stop`, the binary's lifecycle).
+pub struct Server {
+    svc: Arc<SynthService>,
+    engine: Engine,
 }
 
-/// The `GET /metrics` document: every `/stats` counter as a Prometheus
-/// counter/gauge, plus the latency histograms (`_bucket`/`_sum`/
-/// `_count`, bounds in seconds).
-fn render_metrics(shared: &Shared) -> String {
-    let mut w = PromWriter::new();
-    let stat = |c: &AtomicU64| c.load(Ordering::Relaxed);
-    let s = &shared.stats;
-    w.counter(
-        "reshuffle_connections_total",
-        "Connections accepted.",
-        stat(&s.connections),
-    );
-    w.counter(
-        "reshuffle_requests_total",
-        "HTTP requests parsed off connections.",
-        stat(&s.requests),
-    );
-    w.counter(
-        "reshuffle_synth_requests_total",
-        "POST /synthesize requests.",
-        stat(&s.synth_requests),
-    );
-    w.counter(
-        "reshuffle_synth_executed_total",
-        "Synthesize runs that executed the pipeline (cache misses).",
-        stat(&s.executed),
-    );
-    w.counter(
-        "reshuffle_synth_coalesced_total",
-        "Synthesize requests served by another request's in-flight run.",
-        stat(&s.coalesced),
-    );
-    w.counter(
-        "reshuffle_shed_total",
-        "Connections shed with 503 at the accept queue.",
-        stat(&s.shed),
-    );
-    w.counter(
-        "reshuffle_follower_timeouts_total",
-        "Coalesced waits that lapsed the request timeout (504).",
-        stat(&s.timeouts),
-    );
-    w.counter(
-        "reshuffle_request_timeouts_total",
-        "Requests that lapsed the read deadline (408).",
-        stat(&s.request_timeouts),
-    );
-    w.counter(
-        "reshuffle_bad_requests_total",
-        "Malformed, oversized or unroutable requests.",
-        stat(&s.bad_requests),
-    );
-    w.counter(
-        "reshuffle_write_errors_total",
-        "Responses that failed to write (client gone).",
-        stat(&s.write_errors),
-    );
-    let cache = &shared.cache;
-    w.counter(
-        "reshuffle_cache_hits_total",
-        "Synthesis-cache hits.",
-        cache.hits(),
-    );
-    w.counter(
-        "reshuffle_cache_misses_total",
-        "Synthesis-cache misses.",
-        cache.misses(),
-    );
-    w.counter(
-        "reshuffle_cache_shared_hits_total",
-        "Expansion candidates served from the shared cache.",
-        cache.shared_hits(),
-    );
-    w.counter(
-        "reshuffle_cache_evictions_total",
-        "LRU evictions from the bounded cache.",
-        cache.evictions(),
-    );
-    w.counter(
-        "reshuffle_cache_journal_appends_total",
-        "Syntheses appended to the crash journal.",
-        cache.journal_appends(),
-    );
-    w.counter(
-        "reshuffle_cache_journal_errors_total",
-        "Failed journal appends.",
-        cache.journal_errors(),
-    );
-    w.gauge(
-        "reshuffle_cache_entries",
-        "Entries resident in the synthesis cache.",
-        cache.len() as f64,
-    );
-    w.gauge(
-        "reshuffle_in_flight",
-        "Synthesize flights currently executing.",
-        shared.flights.in_flight() as f64,
-    );
-    w.gauge(
-        "reshuffle_uptime_seconds",
-        "Seconds since the server started.",
-        shared.started.elapsed().as_secs_f64(),
-    );
-    w.histogram(
-        "reshuffle_request_duration_seconds",
-        "Request service time, request parsed to response written.",
-        &shared.metrics.request.snapshot(),
-    );
-    w.histogram(
-        "reshuffle_queue_wait_seconds",
-        "Accepted-connection wait from accept-queue enqueue to worker pickup.",
-        &shared.metrics.queue_wait.snapshot(),
-    );
-    w.histogram(
-        "reshuffle_flight_wait_seconds",
-        "Coalesced follower wait on the in-flight leader.",
-        &shared.metrics.flight_wait.snapshot(),
-    );
-    let snaps: Vec<HistSnapshot> = shared
-        .metrics
-        .stages
-        .iter()
-        .map(Histogram::snapshot)
-        .collect();
-    let labels: Vec<[(&str, &str); 1]> = STAGE_NAMES.iter().map(|n| [("stage", *n)]).collect();
-    let series: Vec<(&[(&str, &str)], &HistSnapshot)> = labels
-        .iter()
-        .zip(snaps.iter())
-        .map(|(l, snap)| (l.as_slice(), snap))
-        .collect();
-    w.histogram_family(
-        "reshuffle_stage_duration_seconds",
-        "Per-stage pipeline wall time (cache_hit is the hit path's lookup latency).",
-        &series,
-    );
-    w.finish()
+impl Server {
+    /// Binds, recovers the cache (snapshot + journal replay, when a
+    /// path is configured), arms the fsync'd journal so every executed
+    /// synthesis is immediately crash-durable, and spawns the accept
+    /// thread plus worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and unreadable/corrupt cache snapshots or
+    /// journals (a torn final journal record — a crash mid-append —
+    /// is recovered from, not an error).
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let cache = match &cfg.cache_path {
+            Some(path) => {
+                let store = FileStore::new(path);
+                let recovery = SynthCache::recover(&store)?;
+                recovery.cache.attach_journal(Arc::new(store));
+                recovery.cache
+            }
+            None => SynthCache::new(),
+        };
+        cache.set_capacity(cfg.cache_capacity);
+        let tracer = Tracer::new(
+            cfg.trace_level,
+            cfg.trace_sink.clone().unwrap_or_else(SinkHandle::stderr),
+        );
+        let state = Arc::new(EngineState::new(EngineConfig {
+            addr: cfg.addr.clone(),
+            threads: cfg.threads,
+            queue_depth: cfg.queue_depth,
+            request_timeout: cfg.request_timeout,
+            idle_timeout: cfg.idle_timeout,
+            max_requests_per_conn: cfg.max_requests_per_conn,
+            max_body_bytes: cfg.max_body_bytes,
+            role: None,
+        }));
+        let svc = Arc::new(SynthService {
+            cfg,
+            engine: state.clone(),
+            cache,
+            flights: SingleFlight::new(),
+            stats: SynthStats::default(),
+            stage_totals: StageTotals::default(),
+            flight_wait: Histogram::new(),
+            stage_hists: std::array::from_fn(|_| Histogram::new()),
+            tracer,
+        });
+        let engine = Engine::start(state, svc.clone())?;
+        Ok(Server { svc, engine })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.engine.addr()
+    }
+
+    /// The service's synthesis cache.
+    pub fn cache(&self) -> &SynthCache {
+        &self.svc.cache
+    }
+
+    /// Blocks until a client posts `/shutdown`.
+    pub fn wait_for_shutdown(&self) {
+        self.engine.wait_for_shutdown();
+    }
+
+    /// Stops accepting, drains the pool, and compacts the cache — a
+    /// fresh snapshot replacing the journal — when a path is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot write failures; the threads are already down by then
+    /// (and the journal is left in place, so even a failed compaction
+    /// loses nothing).
+    pub fn stop(mut self) -> io::Result<()> {
+        self.engine.join();
+        if let Some(path) = &self.svc.cfg.cache_path {
+            self.svc.cache.compact_to(&FileStore::new(path))?;
+        }
+        Ok(())
+    }
+
+    /// Tears the service down *without* the shutdown snapshot — the
+    /// crash-simulation path (the in-process analogue of `kill -9`
+    /// minus leaked threads): only the append-only journal survives,
+    /// which is exactly what [`Server::start`] recovers from.
+    pub fn abort(mut self) {
+        self.engine.join();
+    }
 }

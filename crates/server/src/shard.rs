@@ -1,0 +1,182 @@
+//! The router's routing table: a fixed-order list of backends, each
+//! with health state, per-backend counters, and a small pool of idle
+//! keep-alive connections.
+//!
+//! Routing is deterministic — `key % N` over the content-addressed
+//! [`run_cache_key`](reshuffle::run_cache_key) — so every request for
+//! the same spec × options lands on the same backend. That invariant
+//! is what keeps per-shard single-flight coalescing and cache locality
+//! working across a fleet: the shard is a pure function of *what* is
+//! being synthesized, never of arrival order or load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::client::ClientConn;
+
+/// Idle keep-alive connections kept per backend; more are dropped.
+const POOL_BOUND: usize = 8;
+
+/// One backend in the routing table.
+#[derive(Debug)]
+pub struct Backend {
+    addr: String,
+    /// Health as of the last probe or forward (optimistic at start, so
+    /// traffic flows before the first probe completes).
+    up: AtomicBool,
+    routed: AtomicU64,
+    errors: AtomicU64,
+    pool: Mutex<Vec<ClientConn>>,
+}
+
+impl Backend {
+    fn new(addr: String) -> Backend {
+        Backend {
+            addr,
+            up: AtomicBool::new(true),
+            routed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The backend's address, as configured.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the last probe or forward found the backend healthy.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    /// Requests successfully forwarded to this backend.
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Forward attempts that exhausted their retries.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_routed(&self) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes an idle pooled connection, if any.
+    pub(crate) fn take_conn(&self) -> Option<ClientConn> {
+        self.pool.lock().unwrap().pop()
+    }
+
+    /// Returns a still-usable connection to the pool (dropped when the
+    /// pool is full).
+    pub(crate) fn put_conn(&self, conn: ClientConn) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_BOUND {
+            pool.push(conn);
+        }
+    }
+}
+
+/// A fixed-order backend list routing `key % N`.
+#[derive(Debug)]
+pub struct ShardTable {
+    backends: Vec<Backend>,
+}
+
+impl ShardTable {
+    /// Builds the table from backend addresses, preserving order —
+    /// order *is* the shard numbering, so every router given the same
+    /// list routes identically.
+    pub fn new(addrs: impl IntoIterator<Item = String>) -> ShardTable {
+        ShardTable {
+            backends: addrs.into_iter().map(Backend::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the table has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// The shard index for a cache key: `key % N`.
+    pub fn route(&self, key: u64) -> usize {
+        (key % self.backends.len() as u64) as usize
+    }
+
+    /// The backend at shard index `i`.
+    pub fn backend(&self, i: usize) -> &Backend {
+        &self.backends[i]
+    }
+
+    /// All backends, in shard order.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> ShardTable {
+        ShardTable::new((0..n).map(|i| format!("127.0.0.1:{}", 7890 + i)))
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_order_sensitive() {
+        let t = table(3);
+        for key in [0u64, 1, 17, u64::MAX, 0x9e3779b97f4a7c15] {
+            assert_eq!(t.route(key), t.route(key), "same key, same shard");
+            assert_eq!(t.route(key), (key % 3) as usize);
+        }
+        // A reversed list renumbers the shards: order is part of the
+        // routing contract.
+        let reversed = ShardTable::new((0..3).rev().map(|i| format!("127.0.0.1:{}", 7890 + i)));
+        assert_eq!(t.backend(t.route(0)).addr(), "127.0.0.1:7890");
+        assert_eq!(reversed.backend(reversed.route(0)).addr(), "127.0.0.1:7892");
+        assert_ne!(
+            t.backend(0).addr(),
+            reversed.backend(0).addr(),
+            "shard numbering follows list order"
+        );
+    }
+
+    #[test]
+    fn every_shard_is_reachable() {
+        let t = table(4);
+        let mut hit = [false; 4];
+        for key in 0..64u64 {
+            hit[t.route(key)] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "{hit:?}");
+    }
+
+    #[test]
+    fn counters_and_pool_are_per_backend() {
+        let t = table(2);
+        t.backend(0).note_routed();
+        t.backend(0).note_routed();
+        t.backend(1).note_error();
+        t.backend(1).set_up(false);
+        assert_eq!((t.backend(0).routed(), t.backend(0).errors()), (2, 0));
+        assert_eq!((t.backend(1).routed(), t.backend(1).errors()), (0, 1));
+        assert!(t.backend(0).is_up());
+        assert!(!t.backend(1).is_up());
+        assert!(t.backend(0).take_conn().is_none(), "pool starts empty");
+    }
+}

@@ -4,7 +4,7 @@
 //! 4xx surface, and the `/stats` document (validated with the
 //! hand-rolled JSON parser).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use reshuffle_bench::examples::{scaled_pipeline, TOGGLE_G, XYZ_G};
 use reshuffle_bench::json::{self, Json};
-use reshuffle_server::{Server, ServerConfig};
+use reshuffle_server::{ClientConn, Server, ServerConfig};
 
 /// One blocking exchange over a fresh connection that asks the server
 /// to close; returns (status, head, body).
@@ -57,58 +57,26 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     )
 }
 
-/// A persistent keep-alive client: reads `Content-Length`-framed
-/// responses (no EOF wait), so one socket carries many requests.
+/// A persistent keep-alive client over the crate's shared HTTP
+/// framing ([`ClientConn`]), so one socket carries many requests.
 struct Client {
-    reader: BufReader<TcpStream>,
+    conn: ClientConn,
 }
 
 impl Client {
     fn connect(addr: SocketAddr) -> Client {
         Client {
-            reader: BufReader::new(TcpStream::connect(addr).unwrap()),
+            conn: ClientConn::connect(&addr.to_string()).unwrap(),
         }
-    }
-
-    /// One exchange on the persistent connection; returns
-    /// (status, body, server_closes). `Err` means the server already
-    /// closed the socket.
-    fn exchange(&mut self, raw: &str) -> std::io::Result<(u16, String, bool)> {
-        self.reader.get_ref().write_all(raw.as_bytes())?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::ErrorKind::UnexpectedEof.into());
-        }
-        let status = line.split(' ').nth(1).unwrap().parse().unwrap();
-        let mut content_length = 0usize;
-        let mut close = false;
-        loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(std::io::ErrorKind::UnexpectedEof.into());
-            }
-            let header = line.trim_end_matches(['\r', '\n']);
-            if header.is_empty() {
-                break;
-            }
-            if let Some((name, value)) = header.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().unwrap();
-                } else if name.eq_ignore_ascii_case("connection") {
-                    close = value.trim().eq_ignore_ascii_case("close");
-                }
-            }
-        }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
-        Ok((status, String::from_utf8(body).unwrap(), close))
     }
 
     fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String, bool)> {
-        self.exchange(&format!(
+        let raw = format!(
             "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
-        ))
+        );
+        let response = self.conn.exchange(raw.as_bytes())?;
+        Ok((response.status, response.body_str(), response.close))
     }
 }
 
