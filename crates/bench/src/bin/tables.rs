@@ -25,22 +25,40 @@
 //! `reshuffle-tables/1` schema instead; `--json --baseline` zeroes the
 //! machine-dependent wall times, which is how the committed
 //! `BENCH_tables.json` perf-trajectory baseline is produced.
+//! `--scaled N` additionally pushes `scaled_pipeline(N)` and its
+//! dummy-padded variant through the full pipeline (state budget raised
+//! past the default million) and appends their pre-reduction trajectory
+//! rows — the committed baseline is produced with `--scaled 12`.
 
 use reshuffle_bench::tables;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let show_moves = args.iter().any(|a| a == "--moves");
-    let as_json = args.iter().any(|a| a == "--json");
-    let baseline = args.iter().any(|a| a == "--baseline");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--moves" | "--json" | "--baseline"))
-    {
-        eprintln!("error: unknown argument `{unknown}` (expected --moves, --json, --baseline)");
-        std::process::exit(2);
+    let (mut show_moves, mut as_json, mut baseline) = (false, false, false);
+    let mut scaled: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--moves" => show_moves = true,
+            "--json" => as_json = true,
+            "--baseline" => baseline = true,
+            "--scaled" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => scaled = Some(n),
+                None => {
+                    eprintln!("error: --scaled requires a numeric argument (e.g. --scaled 12)");
+                    std::process::exit(2);
+                }
+            },
+            unknown => {
+                eprintln!(
+                    "error: unknown argument `{unknown}` \
+                     (expected --moves, --json, --baseline, --scaled N)"
+                );
+                std::process::exit(2);
+            }
+        }
     }
-    let report = tables::collect(show_moves && !as_json);
+    let report = tables::collect_scaled(show_moves && !as_json, scaled);
     if as_json {
         println!("{}", tables::render_json(&report, !baseline).render());
     } else {

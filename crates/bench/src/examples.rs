@@ -236,6 +236,79 @@ pub fn scaled_pipeline(n: usize) -> String {
     g
 }
 
+/// [`scaled_pipeline`] with a *series dummy* padding every branch edge
+/// `r{i} -> a{i}` (rising and falling): `.dummy pu{i}`/`pd{i}`
+/// transitions that commit no signal edge but hold an extra
+/// intermediate marking each, so every branch has four positions per
+/// half-cycle instead of three and the raw state space grows from
+/// `2 * 3^n + 2` to `2 * 4^n + 2` states — at `n = 12` that is 33.5
+/// million raw states against the plain net's 1.06 million.
+///
+/// Structural pre-reduction ([`reshuffle_petri::prereduce`]) merges
+/// every series dummy away and recovers the plain [`scaled_pipeline`]
+/// net exactly (asserted by canonical fingerprint in the tests), which
+/// makes this the pre-/post-reduction corpus of the `par_reach` bench
+/// and the `tables --scaled` trajectory: the padded specification is
+/// only buildable because the state space shrinks *before* the state
+/// graph exists.
+pub fn scaled_pipeline_padded(n: usize) -> String {
+    use std::fmt::Write as _;
+    assert!((1..=31).contains(&n), "scaled_pipeline supports 1..=31");
+    let mut g = String::new();
+    let _ = writeln!(g, ".model scaled{n}");
+    let _ = write!(g, ".inputs go");
+    for i in 1..=n {
+        let _ = write!(g, " a{i}");
+    }
+    let _ = writeln!(g);
+    let _ = write!(g, ".outputs done");
+    for i in 1..=n {
+        let _ = write!(g, " r{i}");
+    }
+    let _ = writeln!(g);
+    let _ = write!(g, ".dummy");
+    for i in 1..=n {
+        let _ = write!(g, " pu{i} pd{i}");
+    }
+    let _ = writeln!(g);
+    let _ = writeln!(g, ".graph");
+    for i in 1..=n {
+        let _ = writeln!(g, "go+ r{i}+");
+        let _ = writeln!(g, "r{i}+ pu{i}");
+        let _ = writeln!(g, "pu{i} a{i}+");
+        let _ = writeln!(g, "a{i}+ done+");
+    }
+    let _ = writeln!(g, "done+ go-");
+    for i in 1..=n {
+        let _ = writeln!(g, "go- r{i}-");
+        let _ = writeln!(g, "r{i}- pd{i}");
+        let _ = writeln!(g, "pd{i} a{i}-");
+        let _ = writeln!(g, "a{i}- done-");
+    }
+    let _ = writeln!(g, "done- go+");
+    let _ = writeln!(g, ".marking {{ <done-,go+> }}");
+    let _ = writeln!(g, ".end");
+    g
+}
+
+/// Closed-form raw state count of [`scaled_pipeline`]`(n)`:
+/// `2 * 3^n + 2` (each branch occupies one of three positions per
+/// half-cycle, plus the two join states). Verified by exploration in
+/// the tests.
+pub fn scaled_pipeline_states(n: usize) -> usize {
+    2 * 3usize.pow(n as u32) + 2
+}
+
+/// Closed-form raw state count of [`scaled_pipeline_padded`]`(n)`:
+/// `2 * 4^n + 2` (the series dummy adds a fourth branch position per
+/// half-cycle). This is the state space the padded net explodes to
+/// *without* pre-reduction; with it, the build sees
+/// [`scaled_pipeline_states`]`(n)`. Verified by exploration in the
+/// tests.
+pub fn scaled_pipeline_padded_states(n: usize) -> usize {
+    2 * 4usize.pow(n as u32) + 2
+}
+
 /// Every example, with its name: the rows of the `tables` report.
 pub const ALL: &[(&str, &str)] = &[
     ("toggle", TOGGLE_G),
@@ -314,5 +387,31 @@ mod tests {
     #[should_panic(expected = "1..=31")]
     fn scaled_pipeline_rejects_oversized_n() {
         let _ = scaled_pipeline(32);
+    }
+
+    #[test]
+    fn padded_pipeline_explodes_raw_and_prereduces_to_the_plain_net() {
+        use reshuffle_petri::{canonical_fingerprint, prereduce, ReachabilityGraph};
+        for n in [1, 3, 5] {
+            let plain = parse_g(&scaled_pipeline(n)).unwrap();
+            let mut padded = parse_g(&scaled_pipeline_padded(n)).unwrap();
+            // The raw (unreduced) padded net reaches 2*4^n + 2 states,
+            // the plain net 2*3^n + 2 — both closed forms hold.
+            let raw = ReachabilityGraph::explore_default(padded.net(), &padded.initial_marking())
+                .unwrap();
+            assert_eq!(raw.len(), scaled_pipeline_padded_states(n), "n={n}");
+            let plain_rg =
+                ReachabilityGraph::explore_default(plain.net(), &plain.initial_marking()).unwrap();
+            assert_eq!(plain_rg.len(), scaled_pipeline_states(n), "n={n}");
+            // Pre-reduction merges every series dummy and recovers the
+            // plain net exactly, declaration-order-invariantly.
+            let stats = prereduce(&mut padded).unwrap();
+            assert_eq!(stats.dummy_merges, 2 * n, "n={n}");
+            assert_eq!(
+                canonical_fingerprint(&padded),
+                canonical_fingerprint(&plain),
+                "n={n}: pre-reduced padded net is not the plain net"
+            );
+        }
     }
 }

@@ -86,6 +86,55 @@ pub enum RowResult {
     },
 }
 
+/// Pre-reduction and prefix-trie counters summed over the first-pass
+/// corpus runs (from each run's [`reshuffle::Diagnostics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrereduceTotals {
+    /// Places removed by structural pre-reduction.
+    pub places_removed: u64,
+    /// Transitions removed by structural pre-reduction.
+    pub transitions_removed: u64,
+    /// Lattice restriction products served from the shared-prefix
+    /// cache (partial entries only).
+    pub lattice_prefix_hits: u64,
+}
+
+impl PrereduceTotals {
+    fn add(&mut self, diag: &reshuffle::Diagnostics) {
+        self.places_removed += diag.prereduce_places_removed;
+        self.transitions_removed += diag.prereduce_transitions_removed;
+        self.lattice_prefix_hits += diag.lattice_prefix_hits;
+    }
+}
+
+/// One scaled end-to-end trajectory row (`tables --scaled N`): the
+/// synthetic fork/join controller pushed through the *full* pipeline
+/// at a state count the default budget would refuse.
+#[derive(Debug, Clone)]
+pub struct TrajectoryRow {
+    /// Variant name (`scaled{n}` plain, `scaled{n}p` dummy-padded).
+    pub model: String,
+    /// The generator's `n`.
+    pub n: usize,
+    /// Closed-form raw state count of the *unreduced* specification —
+    /// what the build would have to explore with pre-reduction off
+    /// (for the padded variant this exceeds any practical budget).
+    pub states_raw: usize,
+    /// States the pipeline actually built after pre-reduction.
+    pub states_built: usize,
+    /// Places removed by pre-reduction on this run.
+    pub places_removed: u64,
+    /// Transitions removed by pre-reduction on this run.
+    pub transitions_removed: u64,
+    /// Lattice restriction products served from the prefix trie (0:
+    /// the scaled specifications are complete, no lattice exists).
+    pub lattice_prefix_hits: u64,
+    /// Literal estimate of the synthesized state graph.
+    pub lits: u32,
+    /// End-to-end wall time of the run.
+    pub wall_ms: f64,
+}
+
 /// The whole report: rows plus cache behaviour.
 #[derive(Debug, Clone)]
 pub struct TablesReport {
@@ -101,6 +150,11 @@ pub struct TablesReport {
     pub replay_misses: u64,
     /// Wall time of the replay pass.
     pub replay_ms: f64,
+    /// Pre-reduction / prefix-trie counters over the first pass.
+    pub prereduce: PrereduceTotals,
+    /// Scaled trajectory rows (empty unless `--scaled N` asked for
+    /// them).
+    pub trajectory: Vec<TrajectoryRow>,
 }
 
 impl TablesReport {
@@ -139,6 +193,7 @@ fn run_cached(
     opts: &PipelineOptions,
     cache: &SynthCache,
     replay: &mut Vec<ReplayItem>,
+    totals: &mut PrereduceTotals,
 ) -> Result<Synthesis, String> {
     let parsed = match sg {
         Some(sg) => Pipeline::from_parts(stg.clone(), sg.clone()),
@@ -148,6 +203,7 @@ fn run_cached(
         .with_cache(cache)
         .run(opts)
         .map_err(|e| e.to_string())?;
+    totals.add(done.diagnostics());
     replay.push((stg.clone(), sg.cloned(), opts.clone()));
     Ok(done.into_synthesis())
 }
@@ -181,6 +237,7 @@ fn render_moves(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_row(
     name: &'static str,
     src: &str,
@@ -189,6 +246,7 @@ fn collect_row(
     eopts: &ExpansionOptions,
     with_move_bodies: bool,
     replay: &mut Vec<ReplayItem>,
+    totals: &mut PrereduceTotals,
 ) -> Result<Row, String> {
     let spec = parse_g(src).map_err(|e| e.to_string())?;
     let spec_sg = build_state_graph(&spec).map_err(|e| e.to_string())?;
@@ -207,6 +265,7 @@ fn collect_row(
                 &PipelineOptions::default(),
                 cache,
                 replay,
+                totals,
             )
             .and_then(|s| path_of(&s, ropts))
         };
@@ -214,12 +273,12 @@ fn collect_row(
         let lazy = extreme(cands.last().unwrap()).ok();
         // The ranked selection, and its reduce composition.
         let expand_opts = PipelineOptions::new().with_expand(eopts.clone());
-        let selected_synth = run_cached(&spec, None, &expand_opts, cache, replay)?;
+        let selected_synth = run_cached(&spec, None, &expand_opts, cache, replay, totals)?;
         let selected = path_of(&selected_synth, ropts)?;
         let composed_opts = PipelineOptions::new()
             .with_expand(eopts.clone())
             .with_reduce(ropts.clone());
-        let composed_synth = run_cached(&spec, None, &composed_opts, cache, replay)?;
+        let composed_synth = run_cached(&spec, None, &composed_opts, cache, replay, totals)?;
         let composed = path_of(&composed_synth, ropts)?;
         // Deltas start from the winning candidate's own (pre-reduction)
         // statistics.
@@ -253,11 +312,12 @@ fn collect_row(
         &PipelineOptions::default(),
         cache,
         replay,
+        totals,
     )
     .and_then(|s| path_of(&s, ropts))
     .ok();
     let reduced_opts = PipelineOptions::new().with_reduce(ropts.clone());
-    let reduced_synth = run_cached(&spec, Some(&spec_sg), &reduced_opts, cache, replay)?;
+    let reduced_synth = run_cached(&spec, Some(&spec_sg), &reduced_opts, cache, replay, totals)?;
     let reduced = path_of(&reduced_synth, ropts)?;
     let moves_body = if !with_move_bodies || reduced_synth.moves.is_empty() {
         String::new()
@@ -285,10 +345,71 @@ fn collect_row(
 /// an extra timed simulation per reduced row, so callers that will not
 /// print them skip the work).
 pub fn collect(with_move_bodies: bool) -> TablesReport {
+    collect_scaled(with_move_bodies, None)
+}
+
+/// State budget of the scaled trajectory runs: the default 10^6 budget
+/// refuses `scaled_pipeline(12)`'s 1 062 884 states by design, so the
+/// trajectory raises it explicitly.
+const SCALED_STATE_BUDGET: usize = 2_000_000;
+
+/// Pushes `scaled_pipeline(n)` and its dummy-padded variant through
+/// the *full* pipeline (budget raised past the default) and records
+/// what pre-reduction did for each: the padded variant's raw state
+/// space (`2*4^n + 2`) collapses to the plain one's (`2*3^n + 2`)
+/// before the build ever runs.
+fn collect_trajectory(n: usize) -> Vec<TrajectoryRow> {
+    let variants = [
+        (
+            format!("scaled{n}"),
+            examples::scaled_pipeline(n),
+            examples::scaled_pipeline_states(n),
+        ),
+        (
+            format!("scaled{n}p"),
+            examples::scaled_pipeline_padded(n),
+            examples::scaled_pipeline_padded_states(n),
+        ),
+    ];
+    let opts = PipelineOptions::new().with_state_budget(SCALED_STATE_BUDGET);
+    variants
+        .into_iter()
+        .map(|(model, src, states_raw)| {
+            let t = Instant::now();
+            let done = Pipeline::from_g(&src)
+                .and_then(|p| p.run(&opts))
+                .unwrap_or_else(|e| panic!("{model}: scaled trajectory run failed: {e}"));
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let diag = done.diagnostics();
+            let states_built = diag
+                .stage(reshuffle::Stage::Expand)
+                .and_then(|r| r.states)
+                .unwrap_or(0);
+            let row = TrajectoryRow {
+                n,
+                states_raw,
+                states_built,
+                places_removed: diag.prereduce_places_removed,
+                transitions_removed: diag.prereduce_transitions_removed,
+                lattice_prefix_hits: diag.lattice_prefix_hits,
+                lits: literal_estimate(&done.synthesis().sg),
+                wall_ms,
+                model,
+            };
+            row
+        })
+        .collect()
+}
+
+/// [`collect`], optionally also collecting the scaled end-to-end
+/// trajectory (`tables --scaled N`): `scaled_pipeline(scaled)` and its
+/// dummy-padded variant through the full pipeline.
+pub fn collect_scaled(with_move_bodies: bool, scaled: Option<usize>) -> TablesReport {
     let cache = SynthCache::new();
     let ropts = ReduceOptions::default();
     let eopts = ExpansionOptions::default();
     let mut replay: Vec<ReplayItem> = Vec::new();
+    let mut totals = PrereduceTotals::default();
 
     let t_first = Instant::now();
     let rows: Vec<RowResult> = examples::ALL
@@ -302,6 +423,7 @@ pub fn collect(with_move_bodies: bool) -> TablesReport {
                 &eopts,
                 with_move_bodies,
                 &mut replay,
+                &mut totals,
             ) {
                 Ok(row) => RowResult::Row(Box::new(row)),
                 Err(error) => RowResult::Failed { name, error },
@@ -328,6 +450,8 @@ pub fn collect(with_move_bodies: bool) -> TablesReport {
         replay_hits: cache.hits() - hits0,
         replay_misses: cache.misses() - misses0,
         replay_ms,
+        prereduce: totals,
+        trajectory: scaled.map(collect_trajectory).unwrap_or_default(),
     }
 }
 
@@ -398,6 +522,24 @@ pub fn render_text(report: &TablesReport, show_moves: bool) -> String {
         report.replay_misses,
         report.replay_ms,
     ));
+    out.push_str(&format!(
+        "prereduce: {} places / {} transitions removed; {} lattice prefix hits\n",
+        report.prereduce.places_removed,
+        report.prereduce.transitions_removed,
+        report.prereduce.lattice_prefix_hits,
+    ));
+    for row in &report.trajectory {
+        out.push_str(&format!(
+            "trajectory: {:<10} raw {:>9} -> built {:>8} states; -{} places -{} transitions; lits {}; {:.1} ms\n",
+            row.model,
+            row.states_raw,
+            row.states_built,
+            row.places_removed,
+            row.transitions_removed,
+            row.lits,
+            row.wall_ms,
+        ));
+    }
     out
 }
 
@@ -447,6 +589,29 @@ pub fn render_json(report: &TablesReport, with_timings: bool) -> Json {
             ]),
         })
         .collect();
+    let trajectory: Vec<Json> = report
+        .trajectory
+        .iter()
+        .map(|row| {
+            Json::obj(vec![
+                ("model", Json::Str(row.model.clone())),
+                ("n", Json::Num(row.n as f64)),
+                ("states_raw", Json::Num(row.states_raw as f64)),
+                ("states_built", Json::Num(row.states_built as f64)),
+                ("places_removed", Json::Num(row.places_removed as f64)),
+                (
+                    "transitions_removed",
+                    Json::Num(row.transitions_removed as f64),
+                ),
+                (
+                    "lattice_prefix_hits",
+                    Json::Num(row.lattice_prefix_hits as f64),
+                ),
+                ("lits", Json::Num(row.lits as f64)),
+                ("wall_ms", ms(row.wall_ms)),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema", Json::Str("reshuffle-tables/1".to_string())),
         ("rows", Json::Arr(rows)),
@@ -460,6 +625,24 @@ pub fn render_json(report: &TablesReport, with_timings: bool) -> Json {
                 ("replay_ms", ms(report.replay_ms)),
             ]),
         ),
+        (
+            "prereduce",
+            Json::obj(vec![
+                (
+                    "places_removed",
+                    Json::Num(report.prereduce.places_removed as f64),
+                ),
+                (
+                    "transitions_removed",
+                    Json::Num(report.prereduce.transitions_removed as f64),
+                ),
+                (
+                    "lattice_prefix_hits",
+                    Json::Num(report.prereduce.lattice_prefix_hits as f64),
+                ),
+                ("trajectory", Json::Arr(trajectory)),
+            ]),
+        ),
         ("failures", Json::Num(report.failures() as f64)),
     ])
 }
@@ -471,7 +654,10 @@ mod tests {
 
     #[test]
     fn report_collects_renders_and_reparses() {
-        let report = collect(true);
+        // n=4 keeps the trajectory runs cheap (164 / 514 raw states)
+        // while exercising the same code path as the committed
+        // `--scaled 12` baseline.
+        let report = collect_scaled(true, Some(4));
         assert_eq!(report.rows.len(), examples::ALL.len());
         assert_eq!(report.failures(), 0, "corpus rows failed");
         // Every successful first-pass run replays from the cache.
@@ -512,12 +698,50 @@ mod tests {
         assert_eq!(lits, Some(1.0));
         assert_eq!(parsed.get("failures").and_then(Json::as_num), Some(0.0));
 
+        // The partial entries exercised the shared-prefix trie; the
+        // corpus itself is irredundant, so pre-reduction removes
+        // nothing (outcome neutrality of the golden rows).
+        assert!(report.prereduce.lattice_prefix_hits > 0);
+        assert_eq!(report.prereduce.places_removed, 0);
+        assert_eq!(report.prereduce.transitions_removed, 0);
+
+        // The scaled trajectory ran both variants end-to-end: the
+        // plain net pre-reduces to itself, the padded one collapses
+        // from 2*4^n+2 raw states to the plain net's 2*3^n+2 build.
+        assert_eq!(report.trajectory.len(), 2);
+        let (plain, padded) = (&report.trajectory[0], &report.trajectory[1]);
+        assert_eq!(plain.model, "scaled4");
+        assert_eq!(plain.states_raw, examples::scaled_pipeline_states(4));
+        assert_eq!(plain.states_built, plain.states_raw);
+        assert_eq!(plain.places_removed, 0);
+        assert_eq!(padded.model, "scaled4p");
+        assert_eq!(
+            padded.states_raw,
+            examples::scaled_pipeline_padded_states(4)
+        );
+        assert_eq!(padded.states_built, examples::scaled_pipeline_states(4));
+        assert_eq!(padded.transitions_removed, 8, "2n series dummies merged");
+        assert!(padded.places_removed >= 8);
+        // Both synthesize the same circuit: the padded spec commits the
+        // same signal behaviour.
+        assert_eq!(plain.lits, padded.lits);
+        let text = render_text(&report, false);
+        assert!(text.contains("prereduce: "), "{text}");
+        assert!(text.contains("trajectory: scaled4p"), "{text}");
+
         // The baseline rendering zeroes every machine-dependent timing.
         let baseline = json::parse(&render_json(&report, false).render()).unwrap();
         let cache = baseline.get("cache").unwrap();
         assert_eq!(cache.get("first_pass_ms").and_then(Json::as_num), Some(0.0));
         assert_eq!(cache.get("replay_ms").and_then(Json::as_num), Some(0.0));
         for row in baseline.get("rows").and_then(Json::items).unwrap() {
+            assert_eq!(row.get("wall_ms").and_then(Json::as_num), Some(0.0));
+        }
+        let pre = baseline.get("prereduce").unwrap();
+        assert!(pre.get("lattice_prefix_hits").and_then(Json::as_num) > Some(0.0));
+        let traj = pre.get("trajectory").and_then(Json::items).unwrap();
+        assert_eq!(traj.len(), 2);
+        for row in traj {
             assert_eq!(row.get("wall_ms").and_then(Json::as_num), Some(0.0));
         }
     }

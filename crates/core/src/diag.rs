@@ -97,6 +97,16 @@ pub struct Diagnostics {
     /// [`SynthCache`](crate::SynthCache)). Always 0 for complete
     /// specifications.
     pub shared_candidate_hits: u64,
+    /// Places removed by structural pre-reduction before the state
+    /// graph was built (0 when the pass was disabled, skipped, or found
+    /// nothing).
+    pub prereduce_places_removed: u64,
+    /// Transitions (series dummies) removed by structural pre-reduction.
+    pub prereduce_transitions_removed: u64,
+    /// Lattice-realization restriction products served from the
+    /// shared-prefix trie instead of being recomputed. Always 0 for
+    /// complete specifications (no lattice is realized).
+    pub lattice_prefix_hits: u64,
 }
 
 impl Diagnostics {
@@ -156,6 +166,20 @@ impl Diagnostics {
                 } else {
                     "s"
                 },
+            );
+        }
+        if self.prereduce_places_removed + self.prereduce_transitions_removed > 0 {
+            let _ = writeln!(
+                out,
+                "prereduce  {} places, {} transitions removed",
+                self.prereduce_places_removed, self.prereduce_transitions_removed,
+            );
+        }
+        if self.lattice_prefix_hits > 0 {
+            let _ = writeln!(
+                out,
+                "prefix     {} lattice restriction products reused",
+                self.lattice_prefix_hits,
             );
         }
         out

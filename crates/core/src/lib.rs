@@ -233,11 +233,21 @@ pub enum ImplStyle {
 ///     .with_reduce(ReduceOptions::default());
 /// assert!(opts.expand.is_some() && opts.reduce.is_some());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct PipelineOptions {
     /// Implementation style (complex gate by default).
     pub style: ImplStyle,
+    /// Structural pre-reduction of complete specifications at the
+    /// parse boundary (on by default): duplicate/shortcut/self-loop
+    /// place elimination and series-dummy merging shrink the net before
+    /// its state graph is ever built. Partial specifications are never
+    /// touched. See [`petri::structural::prereduce`].
+    pub prereduce: bool,
+    /// Cap on explored states per state-graph build
+    /// ([`petri::DEFAULT_STATE_BUDGET`] by default). Not part of the
+    /// cache key: it bounds work, it does not change the artifact.
+    pub state_budget: usize,
     /// Opt-in handshake-expansion stage (Section 3) for *partial*
     /// specifications: enumerate the reshuffling lattice, synthesize
     /// every surviving candidate (composing with the `reduce` stage if
@@ -256,11 +266,37 @@ pub struct PipelineOptions {
     pub skip_verify: bool,
 }
 
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            style: ImplStyle::default(),
+            prereduce: true,
+            state_budget: petri::DEFAULT_STATE_BUDGET,
+            expand: None,
+            reduce: None,
+            csc: CscOptions::default(),
+            skip_verify: false,
+        }
+    }
+}
+
 impl PipelineOptions {
     /// The default pipeline: no expansion, no reduction, default CSC
-    /// search, complex-gate style, verification on.
+    /// search, complex-gate style, pre-reduction and verification on.
     pub fn new() -> PipelineOptions {
         PipelineOptions::default()
+    }
+
+    /// Enables or disables structural pre-reduction (on by default).
+    pub fn with_prereduce(mut self, enabled: bool) -> PipelineOptions {
+        self.prereduce = enabled;
+        self
+    }
+
+    /// Replaces the per-build explored-state cap.
+    pub fn with_state_budget(mut self, budget: usize) -> PipelineOptions {
+        self.state_budget = budget;
+        self
     }
 
     /// Selects the implementation style.
@@ -1192,8 +1228,10 @@ Go- Req~
         let spec = parse_g(XYZ_G).unwrap();
         let fp = canonical_fingerprint(&spec);
 
-        // Default options: complete → skip_reduce → resolve → synthesize.
+        // Default options: prereduce → complete → skip_reduce →
+        // resolve → synthesize.
         let mut h = 0u64;
+        h = replay_mix(h, "prereduce", &[1]);
         h = replay_mix(h, "complete", &[]);
         h = replay_mix(h, "skip_reduce", &[]);
         h = replay_mix(h, "resolve", &[4, 12]);
@@ -1209,6 +1247,7 @@ Go- Req~
             .with_expand(ExpansionOptions::default())
             .with_reduce(ReduceOptions::default());
         let mut h = 0u64;
+        h = replay_mix(h, "prereduce", &[1]);
         h = replay_mix(h, "expand", &[64]);
         h = replay_mix(
             h,
@@ -1223,7 +1262,9 @@ Go- Req~
             "expand+reduce option trail drifted"
         );
 
-        // Every switch lands in the key.
+        // Every switch lands in the key — including the prereduce flag
+        // (a pipeline that rebuilt a different net must not collide
+        // with one that synthesized the verbatim input).
         let keys = [
             run_cache_key(&spec, &PipelineOptions::default()),
             run_cache_key(&spec, &full),
@@ -1232,7 +1273,15 @@ Go- Req~
                 &PipelineOptions::new().with_style(ImplStyle::GeneralizedC),
             ),
             run_cache_key(&spec, &PipelineOptions::new().with_skip_verify(true)),
+            run_cache_key(&spec, &PipelineOptions::new().with_prereduce(false)),
         ];
+        // The state budget bounds work without changing the artifact,
+        // so it must NOT move the key.
+        assert_eq!(
+            keys[0],
+            run_cache_key(&spec, &PipelineOptions::new().with_state_budget(7)),
+            "state budget leaked into the cache key"
+        );
         for (i, a) in keys.iter().enumerate() {
             for b in &keys[i + 1..] {
                 assert_ne!(a, b, "distinct options collided");

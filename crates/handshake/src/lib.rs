@@ -140,6 +140,15 @@ pub struct ExpansionStats {
     /// Points dropped as mirror images of an earlier point under a
     /// signal automorphism (symmetric channels).
     pub deduped_symmetry: usize,
+    /// Restriction products served from the shared-prefix cache instead
+    /// of being recomputed (lattice points agreeing on a constraint
+    /// prefix share the intermediate state graph).
+    pub prefix_hits: u64,
+    /// Restriction products actually executed during realization.
+    pub restriction_products: u64,
+    /// Products a per-point chained realization would have executed —
+    /// always `restriction_products + prefix_hits`.
+    pub chained_products: u64,
 }
 
 impl ExpansionStats {
@@ -239,13 +248,14 @@ pub fn expand_handshakes_stats(stg: &Stg, opts: &ExpansionOptions) -> Result<Exp
     let mut out: Vec<Reshuffling> = Vec::new();
     let mut seen_graphs: HashSet<u64> = HashSet::new();
     let mut seen_keys: HashSet<String> = HashSet::new();
+    let mut prefixes = prune::PrefixCache::default();
     for point in &points {
         if out.len() >= opts.max_reshufflings {
             break;
         }
         stats.points += 1;
         let constraints = point.constraints(&base.rtz, &anchors);
-        let Some(r) = prune::realize(&base, &constraints) else {
+        let Some(r) = prune::realize(&base, &constraints, &mut prefixes) else {
             stats.infeasible += 1;
             continue;
         };
@@ -259,6 +269,9 @@ pub fn expand_handshakes_stats(stg: &Stg, opts: &ExpansionOptions) -> Result<Exp
         }
         out.push(r);
     }
+    stats.prefix_hits = prefixes.hits;
+    stats.restriction_products = prefixes.products;
+    stats.chained_products = prefixes.chained_products;
     if out.is_empty() {
         return Err(HandshakeError::NoFeasibleReshuffling);
     }
@@ -337,6 +350,66 @@ mod tests {
             rs.iter().any(|r| !touches(r, "r") && !touches(r, "a")),
             "lazy extreme missing"
         );
+    }
+
+    /// The shared-prefix realization is an optimization, not a
+    /// semantics change: for every lattice point, the trie path and a
+    /// freshly chained `restrict_with_place` sequence must agree — same
+    /// feasibility verdict, byte-identical state-graph fingerprint —
+    /// while the trie executes strictly fewer restriction products.
+    #[test]
+    fn trie_realization_matches_chained_for_every_point() {
+        use reshuffle_sg::props::all_events_fire;
+        use reshuffle_sg::restrict::restrict_with_place;
+        use reshuffle_sg::EventId;
+        for src in [PULSE_G, SYMMETRIC_G] {
+            let stg = parse_g(src).unwrap();
+            let base = expand::four_phase_base(&stg).unwrap();
+            let anchors = lattice::anchors(&base);
+            let points = lattice::enumerate_points(&anchors);
+            let mut cache = prune::PrefixCache::default();
+            for point in &points {
+                let constraints = point.constraints(&base.rtz, &anchors);
+                // Reference: the chained path, gated exactly as realize.
+                let mut sg = Some(base.sg.clone());
+                for &(b, r) in &constraints {
+                    sg = sg.and_then(|g| {
+                        restrict_with_place(&g, &[EventId(b.0)], &[EventId(r.0)]).ok()
+                    });
+                }
+                let chained = sg.filter(|g| {
+                    g.deadlock_states().is_empty()
+                        && all_events_fire(g)
+                        && speed_independence(g).is_speed_independent()
+                });
+                let trie = prune::realize(&base, &constraints, &mut cache);
+                match (&chained, &trie) {
+                    (None, None) => {}
+                    (Some(g), Some(r)) => assert_eq!(
+                        g.fingerprint(),
+                        r.sg.fingerprint(),
+                        "{src}: point {constraints:?} drifted"
+                    ),
+                    _ => panic!(
+                        "{src}: feasibility disagrees at {constraints:?}: \
+                         chained={} trie={}",
+                        chained.is_some(),
+                        trie.is_some()
+                    ),
+                }
+            }
+            assert_eq!(
+                cache.chained_products,
+                cache.products + cache.hits,
+                "{src}: product accounting broken"
+            );
+            assert!(
+                cache.products < cache.chained_products,
+                "{src}: trie saved nothing ({} executed, {} chained)",
+                cache.products,
+                cache.chained_products
+            );
+        }
     }
 
     #[test]

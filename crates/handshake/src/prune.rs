@@ -8,25 +8,100 @@
 //! under a signal automorphism of the base expansion (symmetric
 //! channels are dominated: a reshuffling and its mirror synthesize to
 //! relabelled copies of the same circuit).
+//!
+//! Realization shares work across lattice points through a
+//! [`PrefixCache`]: points are constraint *sequences* in a fixed
+//! canonical order (RTZ transitions in `BaseExpansion::rtz` order, each
+//! one's anchors in its anchor-list order), so any two points agreeing
+//! on their first `k` constraints pass through the same intermediate
+//! state graph. The cache memoizes every intermediate restriction
+//! product — including failed ones, which prune all extensions of the
+//! failing prefix without re-running the product.
+
+use std::collections::HashMap;
 
 use reshuffle_petri::structural::{insert_causal_place, map_transition};
 use reshuffle_petri::{SignalId, Stg, TransitionId};
 use reshuffle_sg::props::{all_events_fire, speed_independence};
 use reshuffle_sg::restrict::restrict_with_place;
-use reshuffle_sg::EventId;
+use reshuffle_sg::{EventId, StateGraph};
 
 use crate::expand::BaseExpansion;
 use crate::Reshuffling;
 
+/// Cap on memoized prefixes: beyond it the cache stops inserting (but
+/// keeps serving hits), bounding memory on degenerate lattices.
+const MAX_PREFIX_ENTRIES: usize = 4096;
+
+/// Shared-prefix memo over lattice constraint sequences: maps a
+/// canonical constraint prefix to the state graph after restricting the
+/// base by exactly those constraints, or `None` when the restriction
+/// failed (the ordering place went unsafe), which prunes every
+/// extension of that prefix for free.
+#[derive(Debug, Default)]
+pub(crate) struct PrefixCache {
+    memo: HashMap<Vec<(TransitionId, TransitionId)>, Option<StateGraph>>,
+    /// Restriction products served from the memo instead of recomputed.
+    pub hits: u64,
+    /// Restriction products actually executed.
+    pub products: u64,
+    /// Products the per-point chained realization would have executed
+    /// (invariant: `chained_products == products + hits`).
+    pub chained_products: u64,
+}
+
+impl PrefixCache {
+    fn insert(&mut self, key: &[(TransitionId, TransitionId)], sg: Option<StateGraph>) {
+        if self.memo.len() < MAX_PREFIX_ENTRIES {
+            self.memo.insert(key.to_vec(), sg);
+        }
+    }
+}
+
 /// Applies one lattice point's constraints to the base expansion and
-/// runs the semantic gates. `None` means the point is pruned.
+/// runs the semantic gates, reusing the longest memoized constraint
+/// prefix from `cache`. `None` means the point is pruned.
 pub(crate) fn realize(
     base: &BaseExpansion,
     constraints: &[(TransitionId, TransitionId)],
+    cache: &mut PrefixCache,
 ) -> Option<Reshuffling> {
-    let mut sg = base.sg.clone();
-    for &(before, rtz) in constraints {
-        sg = restrict_with_place(&sg, &[EventId(before.0)], &[EventId(rtz.0)]).ok()?;
+    // Longest memoized prefix: the chained path would have re-executed
+    // those products (or, for a memoized failure, executed the failing
+    // prefix before bailing) — count them as hits either way.
+    let mut start = constraints.len();
+    let mut sg = loop {
+        if start == 0 {
+            break base.sg.clone();
+        }
+        match cache.memo.get(&constraints[..start]) {
+            Some(Some(g)) => {
+                cache.hits += start as u64;
+                cache.chained_products += start as u64;
+                break g.clone();
+            }
+            Some(None) => {
+                cache.hits += start as u64;
+                cache.chained_products += start as u64;
+                return None;
+            }
+            None => start -= 1,
+        }
+    };
+    for i in start..constraints.len() {
+        let (before, rtz) = constraints[i];
+        cache.products += 1;
+        cache.chained_products += 1;
+        match restrict_with_place(&sg, &[EventId(before.0)], &[EventId(rtz.0)]) {
+            Ok(next) => {
+                cache.insert(&constraints[..=i], Some(next.clone()));
+                sg = next;
+            }
+            Err(_) => {
+                cache.insert(&constraints[..=i], None);
+                return None;
+            }
+        }
     }
     if !sg.deadlock_states().is_empty() || !all_events_fire(&sg) {
         return None;

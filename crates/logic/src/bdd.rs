@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use crate::cover::Cover;
+use crate::cube::Cube;
 
 /// Reference to a BDD node (0 = constant false, 1 = constant true).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -201,6 +202,140 @@ impl Bdd {
             r = if (code >> n.var) & 1 == 1 { n.hi } else { n.lo };
         }
         r == TRUE
+    }
+
+    /// Builds the BDD of a set of minterms over `num_vars` variables.
+    ///
+    /// This is the scalable alternative to
+    /// [`Cover::from_minterms`] + [`Bdd::from_cover`] when the minterm
+    /// list is large (state-graph next-state tables with ~10⁶ codes):
+    /// the codes are sorted once and the diagram is built by recursive
+    /// slice splitting, so shared suffixes are constructed exactly once.
+    pub fn from_codes(&mut self, codes: &[u64], num_vars: usize) -> NodeRef {
+        assert!(num_vars <= 64);
+        if num_vars == 0 {
+            return if codes.is_empty() { FALSE } else { TRUE };
+        }
+        let mut sorted: Vec<u64> = codes.to_vec();
+        // Sort by bit-reversed value so that at recursion depth `v` the
+        // slice splits contiguously on bit `v` (the next-most-significant
+        // bit of the reversed key).
+        sorted.sort_unstable_by_key(|&c| c.reverse_bits() >> (64 - num_vars));
+        sorted.dedup();
+        self.build_sorted_codes(&sorted, 0, num_vars)
+    }
+
+    fn build_sorted_codes(&mut self, codes: &[u64], var: usize, num_vars: usize) -> NodeRef {
+        if codes.is_empty() {
+            return FALSE;
+        }
+        if var == num_vars {
+            return TRUE;
+        }
+        let split = codes.partition_point(|&c| (c >> var) & 1 == 0);
+        let lo = self.build_sorted_codes(&codes[..split], var + 1, num_vars);
+        let hi = self.build_sorted_codes(&codes[split..], var + 1, num_vars);
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// True if the function has at least one satisfying point inside
+    /// `cube` — the off-set oracle of BDD-backed cube expansion.
+    pub fn cube_intersects(&self, r: NodeRef, cube: Cube) -> bool {
+        fn rec(bdd: &Bdd, r: NodeRef, cube: Cube, memo: &mut HashMap<NodeRef, bool>) -> bool {
+            if r == FALSE {
+                return false;
+            }
+            if r == TRUE {
+                return true;
+            }
+            if let Some(&hit) = memo.get(&r) {
+                return hit;
+            }
+            let n = bdd.nodes[r.0 as usize];
+            let hit = match cube.get(n.var as usize) {
+                Some(false) => rec(bdd, n.lo, cube, memo),
+                Some(true) => rec(bdd, n.hi, cube, memo),
+                None => rec(bdd, n.lo, cube, memo) || rec(bdd, n.hi, cube, memo),
+            };
+            memo.insert(r, hit);
+            hit
+        }
+        // The memo is sound because the cube constraint is fixed for the
+        // whole walk; without it the search is worst-case exponential.
+        rec(self, r, cube, &mut HashMap::new())
+    }
+
+    /// Minato–Morreale irredundant sum-of-products over the interval
+    /// `lower ⊆ f ⊆ upper`: returns the cubes of an irredundant cover
+    /// `f` together with its BDD. Runs in time polynomial in the BDD
+    /// sizes — independent of how many minterms the interval contains.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `lower ⊆ upper`.
+    pub fn isop(&mut self, lower: NodeRef, upper: NodeRef) -> (NodeRef, Vec<Cube>) {
+        debug_assert!(
+            {
+                let nu = self.not(upper);
+                self.and(lower, nu) == FALSE
+            },
+            "isop requires lower ⊆ upper"
+        );
+        let mut memo = HashMap::new();
+        self.isop_rec(lower, upper, &mut memo)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn isop_rec(
+        &mut self,
+        lower: NodeRef,
+        upper: NodeRef,
+        memo: &mut HashMap<(NodeRef, NodeRef), (NodeRef, Vec<Cube>)>,
+    ) -> (NodeRef, Vec<Cube>) {
+        if lower == FALSE {
+            return (FALSE, Vec::new());
+        }
+        if upper == TRUE {
+            return (TRUE, vec![Cube::top()]);
+        }
+        if let Some(hit) = memo.get(&(lower, upper)) {
+            return hit.clone();
+        }
+        let v = self.var_of(lower).min(self.var_of(upper));
+        let (l0, l1) = (self.cof(lower, v, false), self.cof(lower, v, true));
+        let (u0, u1) = (self.cof(upper, v, false), self.cof(upper, v, true));
+        // Points only coverable with the v' (resp. v) literal.
+        let nu1 = self.not(u1);
+        let need0 = self.and(l0, nu1);
+        let (g0, mut c0) = self.isop_rec(need0, u0, memo);
+        let nu0 = self.not(u0);
+        let need1 = self.and(l1, nu0);
+        let (g1, mut c1) = self.isop_rec(need1, u1, memo);
+        // Remainder: lower points neither half covered, coverable by
+        // cubes independent of v.
+        let ng0 = self.not(g0);
+        let ng1 = self.not(g1);
+        let rem0 = self.and(l0, ng0);
+        let rem1 = self.and(l1, ng1);
+        let rem = self.or(rem0, rem1);
+        let ud = self.and(u0, u1);
+        let (gd, cd) = self.isop_rec(rem, ud, memo);
+        let nv = self.literal(v as usize, false);
+        let pv = self.literal(v as usize, true);
+        let part0 = self.and(nv, g0);
+        let part1 = self.and(pv, g1);
+        let parts = self.or(part0, part1);
+        let f = self.or(parts, gd);
+        for c in &mut c0 {
+            *c = c.intersect(Cube::literal(v as usize, false));
+        }
+        for c in &mut c1 {
+            *c = c.intersect(Cube::literal(v as usize, true));
+        }
+        c0.extend(c1);
+        c0.extend(cd);
+        memo.insert((lower, upper), (f, c0.clone()));
+        (f, c0)
     }
 
     /// Counts satisfying assignments over `num_vars` variables.

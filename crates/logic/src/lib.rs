@@ -15,7 +15,11 @@
 //!   for exact literal counts on paper-sized functions;
 //! * [`factor`]/[`Expr`] — algebraic factoring feeding technology
 //!   mapping;
-//! * [`Bdd`] — a small ROBDD package for equivalence checking.
+//! * [`Bdd`] — a small ROBDD package for equivalence checking, with a
+//!   near-linear minterm-list loader and interval ISOP extraction;
+//! * [`minimize_codes`] — BDD-backed minimization for functions given
+//!   as huge minterm lists (million-state next-state tables), where the
+//!   cube-list algorithms above would be quadratic in the state count.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ mod cover;
 mod cube;
 mod espresso;
 mod factor;
+pub mod interval;
 mod qm;
 pub mod tautology;
 
@@ -47,4 +52,5 @@ pub use cover::Cover;
 pub use cube::{mask, Cube, MAX_VARS};
 pub use espresso::{cost, minimize, verify_minimized, Cost};
 pub use factor::{factor, sop_expr, Expr};
+pub use interval::{minimize_codes, minimize_codes_with_bdd};
 pub use qm::{exact_minimize, prime_implicants};

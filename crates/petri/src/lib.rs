@@ -57,4 +57,5 @@ pub use net::PetriNet;
 pub use parse::parse_g;
 pub use reach::{ReachabilityGraph, DEFAULT_STATE_BUDGET};
 pub use stg::{Handshake, Polarity, Signal, SignalEdge, SignalKind, Stg, TransLabel};
+pub use structural::{prereduce, PrereduceStats};
 pub use write::{write_dot, write_g};

@@ -276,6 +276,18 @@ impl Stg {
         t
     }
 
+    /// Adds a transition with an explicit, pre-assigned label. Unlike
+    /// [`Stg::add_edge_transition`] the instance number is taken
+    /// verbatim, so structural rebuilds (e.g. [`crate::prereduce`]
+    /// compaction) reproduce `a+/2` as `a+/2` regardless of insertion
+    /// order. The caller is responsible for keeping labels unique.
+    pub fn add_labelled_transition(&mut self, label: TransLabel) -> TransitionId {
+        let name = self.render_label(&label);
+        let t = self.net.add_transition(name);
+        self.labels.push(label);
+        t
+    }
+
     /// Adds an unnamed place (named `p<N>`).
     pub fn add_place(&mut self) -> PlaceId {
         let n = self.net.num_places();

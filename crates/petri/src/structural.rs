@@ -7,6 +7,7 @@
 
 use crate::error::{PetriError, Result};
 use crate::ids::{PlaceId, SignalId, TransitionId};
+use crate::marking::Marking;
 use crate::stg::{Polarity, SignalEdge, Stg, TransLabel};
 
 /// Inserts a causal constraint *"`to` waits for `from`"*: a fresh place
@@ -346,6 +347,379 @@ pub fn mirror_interface(stg: &mut Stg) {
     }
 }
 
+// --- structural pre-reduction ----------------------------------------
+
+/// What one [`prereduce`] pass removed, by rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrereduceStats {
+    /// Total places removed (sum of the per-rule counters).
+    pub places_removed: usize,
+    /// Total transitions removed (dummy transitions of merged chains).
+    pub transitions_removed: usize,
+    /// Places removed because a twin with identical producers,
+    /// consumers, and initial marking survives.
+    pub duplicate_places: usize,
+    /// Single-producer/single-consumer places removed because a
+    /// token-conserving path of such places already enforces the same
+    /// ordering (the redundant-place rule).
+    pub shortcut_places: usize,
+    /// Marked self-loop places removed (their token never moves and
+    /// never disables their transition).
+    pub self_loop_places: usize,
+    /// Dummy transitions merged out of linear place chains.
+    pub dummy_merges: usize,
+}
+
+impl PrereduceStats {
+    /// True when the pass removed anything.
+    pub fn changed(&self) -> bool {
+        self.places_removed + self.transitions_removed > 0
+    }
+}
+
+/// Structural pre-reduction: shrinks the net *before* its state graph
+/// is ever built, using only reductions that cannot change observable
+/// behavior on 1-safe inputs.
+///
+/// Three of the rules (duplicate places, shortcut places, marked
+/// self-loops) remove places whose marking is a function of the
+/// remaining places, so the reachable state graph of the reduced net is
+/// isomorphic to the original's — identical state count, codes, arcs,
+/// and [`fingerprint`](crate::ReachabilityGraph). The fourth (series
+/// dummy merge) contracts an unobservable ε-step and therefore shrinks
+/// the state graph while preserving the signal-projected trace
+/// language. Partial specifications (open `.handshake` channels or
+/// toggle events) are returned untouched: their ordering is not yet
+/// committed, and expansion owns their structure.
+///
+/// The pass iterates the rules to a fixpoint and then compacts the net
+/// (ids are dense, so removal is a rebuild); transition labels are
+/// preserved verbatim, including instance numbers.
+///
+/// # Example
+///
+/// A place ordering `a+` before `b+` is redundant when a chain through
+/// `x+` already enforces it — the pass removes it without changing the
+/// reachable states:
+///
+/// ```
+/// use reshuffle_petri::{parse_g, structural::prereduce, ReachabilityGraph};
+///
+/// # fn main() -> Result<(), reshuffle_petri::PetriError> {
+/// let mut stg = parse_g(
+///     ".model redundant\n.inputs a\n.outputs x b\n.graph\n\
+///      a+ x+ b+\nx+ b+\nb+ a-\na- x- b-\nx- b-\nb- a+\n\
+///      .marking { <b-,a+> }\n.end\n",
+/// )?;
+/// let before = ReachabilityGraph::explore_default(stg.net(), &stg.initial_marking())?;
+/// let stats = prereduce(&mut stg)?;
+/// assert_eq!(stats.shortcut_places, 2); // <a+,b+> and <a-,b->
+/// let after = ReachabilityGraph::explore_default(stg.net(), &stg.initial_marking())?;
+/// assert_eq!(before.len(), after.len()); // same reachable states
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates arc errors from the final compaction (unreachable when
+/// the input net is well-formed).
+pub fn prereduce(stg: &mut Stg) -> Result<PrereduceStats> {
+    let mut stats = PrereduceStats::default();
+    if stg.is_partial() {
+        return Ok(stats);
+    }
+    let mut work = stg.clone();
+    let mut dead_p = vec![false; work.net().num_places()];
+    let mut dead_t = vec![false; work.net().num_transitions()];
+    let mut marking = work.initial_marking();
+    loop {
+        let mut changed = false;
+        changed |= drop_marked_self_loops(&work, &mut dead_p, &marking, &mut stats);
+        changed |= drop_duplicate_places(&work, &mut dead_p, &marking, &mut stats);
+        changed |= drop_shortcut_places(&work, &mut dead_p, &marking, &mut stats);
+        changed |= merge_series_dummies(
+            &mut work,
+            &mut dead_p,
+            &mut dead_t,
+            &mut marking,
+            &mut stats,
+        );
+        if !changed {
+            break;
+        }
+    }
+    stats.places_removed = dead_p.iter().filter(|&&d| d).count();
+    stats.transitions_removed = dead_t.iter().filter(|&&d| d).count();
+    if stats.changed() {
+        *stg = compact(&work, &marking, &dead_p, &dead_t)?;
+    }
+    Ok(stats)
+}
+
+/// Rule: a *marked* place whose single producer and single consumer are
+/// the same transition never changes marking and never disables it.
+/// (An unmarked self-loop place means its transition is dead — a
+/// semantic property the pass must not erase, so it is kept.)
+fn drop_marked_self_loops(
+    stg: &Stg,
+    dead_p: &mut [bool],
+    marking: &Marking,
+    stats: &mut PrereduceStats,
+) -> bool {
+    let net = stg.net();
+    let mut changed = false;
+    for p in stg.places() {
+        if dead_p[p.index()] || !marking.contains(p) {
+            continue;
+        }
+        let (prod, cons) = (net.producers(p), net.consumers(p));
+        if prod.len() != 1 || cons != prod {
+            continue;
+        }
+        let t = prod[0];
+        // The transition must keep another live preset place, or its
+        // firing rule changes (it would become a source transition).
+        let other_preset = net.preset(t).iter().any(|&q| q != p && !dead_p[q.index()]);
+        if !other_preset {
+            continue;
+        }
+        dead_p[p.index()] = true;
+        stats.self_loop_places += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// A place's connectivity signature for the duplicate rule: sorted
+/// producers, sorted consumers, initially-marked flag.
+type PlaceSignature = (Vec<TransitionId>, Vec<TransitionId>, bool);
+
+/// Rule: of two places with identical producer sets, consumer sets, and
+/// initial marking, one is redundant — their markings are equal in
+/// every reachable marking. The lower-numbered twin survives.
+fn drop_duplicate_places(
+    stg: &Stg,
+    dead_p: &mut [bool],
+    marking: &Marking,
+    stats: &mut PrereduceStats,
+) -> bool {
+    let net = stg.net();
+    let mut changed = false;
+    let descr: Vec<Option<PlaceSignature>> = stg
+        .places()
+        .map(|p| {
+            if dead_p[p.index()] || net.is_isolated_place(p) {
+                return None;
+            }
+            let mut prod = net.producers(p).to_vec();
+            let mut cons = net.consumers(p).to_vec();
+            prod.sort_unstable();
+            cons.sort_unstable();
+            Some((prod, cons, marking.contains(p)))
+        })
+        .collect();
+    for (i, d) in descr.iter().enumerate() {
+        let Some(d) = d else { continue };
+        if dead_p[i] {
+            continue;
+        }
+        for (j, e) in descr.iter().enumerate().skip(i + 1) {
+            if dead_p[j] {
+                continue;
+            }
+            if e.as_ref() == Some(d) {
+                dead_p[j] = true;
+                stats.duplicate_places += 1;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Rule: a place `p` with single producer `a` and single consumer `c`
+/// is redundant when a path of single-producer/single-consumer places
+/// `q1..qk` leads from `a` to `c` carrying no more initial tokens than
+/// `p`. Then `m(p) = Σ m(qi) + m0(p) − Σ m0(qi) ≥ m(qk)` in every
+/// reachable marking (the sum telescopes over every firing), so `p`
+/// never disables `c` and its marking is derived — removal leaves the
+/// reachable graph isomorphic.
+fn drop_shortcut_places(
+    stg: &Stg,
+    dead_p: &mut [bool],
+    marking: &Marking,
+    stats: &mut PrereduceStats,
+) -> bool {
+    let net = stg.net();
+    let mut changed = false;
+    for p in stg.places() {
+        if dead_p[p.index()] {
+            continue;
+        }
+        let (prod, cons) = (net.producers(p), net.consumers(p));
+        if prod.len() != 1 || cons.len() != 1 || prod[0] == cons[0] {
+            continue;
+        }
+        let (a, c) = (prod[0], cons[0]);
+        let budget = marking.contains(p) as usize;
+        if shortcut_path_exists(stg, dead_p, marking, p, a, c, budget) {
+            dead_p[p.index()] = true;
+            stats.shortcut_places += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// BFS over (transition, tokens-spent) pairs through live
+/// single-producer/single-consumer places other than `p`, looking for
+/// an alternative path `a → … → c` with initial-token sum ≤ `budget`.
+fn shortcut_path_exists(
+    stg: &Stg,
+    dead_p: &[bool],
+    marking: &Marking,
+    p: PlaceId,
+    a: TransitionId,
+    c: TransitionId,
+    budget: usize,
+) -> bool {
+    let net = stg.net();
+    let nt = net.num_transitions();
+    let mut seen = vec![false; nt * (budget + 1)];
+    let mut queue = std::collections::VecDeque::new();
+    seen[a.index() * (budget + 1)] = true;
+    queue.push_back((a, 0usize));
+    while let Some((t, spent)) = queue.pop_front() {
+        for &q in net.postset(t) {
+            if q == p || dead_p[q.index()] {
+                continue;
+            }
+            let qc = net.consumers(q);
+            if net.producers(q).len() != 1 || qc.len() != 1 {
+                continue;
+            }
+            let spent2 = spent + marking.contains(q) as usize;
+            if spent2 > budget {
+                continue;
+            }
+            let next = qc[0];
+            if next == c {
+                return true;
+            }
+            let slot = next.index() * (budget + 1) + spent2;
+            if !seen[slot] {
+                seen[slot] = true;
+                queue.push_back((next, spent2));
+            }
+        }
+    }
+    false
+}
+
+/// Rule: a dummy transition `d` forming a linear chain `p → d → q`
+/// (where `d` is `p`'s only consumer and `q`'s only producer) is an
+/// unobservable ε-step: `p`'s producers are rewired straight into `q`
+/// and `p`/`d` vanish. This contracts the chain — the reachable graph
+/// *shrinks* (the token-in-`p` states merge into token-in-`q`), with
+/// the signal-projected trace language preserved. Skipped when both
+/// places are initially marked (the merge would start `q` with two
+/// tokens) or when a rewired arc already exists.
+fn merge_series_dummies(
+    work: &mut Stg,
+    dead_p: &mut [bool],
+    dead_t: &mut [bool],
+    marking: &mut Marking,
+    stats: &mut PrereduceStats,
+) -> bool {
+    let mut changed = false;
+    let transitions: Vec<TransitionId> = work.transitions().collect();
+    for d in transitions {
+        if dead_t[d.index()] || !matches!(work.label(d), TransLabel::Dummy { .. }) {
+            continue;
+        }
+        let net = work.net();
+        let live = |ps: &[PlaceId]| -> Vec<PlaceId> {
+            ps.iter().copied().filter(|q| !dead_p[q.index()]).collect()
+        };
+        let (pre, post) = (live(net.preset(d)), live(net.postset(d)));
+        let ([p], [q]) = (pre.as_slice(), post.as_slice()) else {
+            continue;
+        };
+        let (p, q) = (*p, *q);
+        if p == q || net.consumers(p) != [d] || net.producers(q) != [d] {
+            continue;
+        }
+        if marking.contains(p) && marking.contains(q) {
+            continue;
+        }
+        let producers: Vec<TransitionId> = net.producers(p).to_vec();
+        // A producer already feeding `q` would need a duplicate arc.
+        if producers.iter().any(|&t| net.postset(t).contains(&q)) {
+            continue;
+        }
+        let net = work.net_mut();
+        for &t in &producers {
+            net.remove_arc_tp(t, p);
+            let _ = net.add_arc_tp(t, q);
+        }
+        net.remove_arc_pt(p, d);
+        net.remove_arc_tp(d, q);
+        if marking.contains(p) {
+            marking.set(p, false);
+            marking.set(q, true);
+        }
+        dead_p[p.index()] = true;
+        dead_t[d.index()] = true;
+        stats.dummy_merges += 1;
+        changed = true;
+    }
+    changed
+}
+
+/// Rebuilds the STG without the removed nodes. Ids are dense, so
+/// removal is a fresh net; signal ids, labels (including instance
+/// numbers), place names, initial values, and channels carry over
+/// verbatim.
+fn compact(stg: &Stg, marking: &Marking, dead_p: &[bool], dead_t: &[bool]) -> Result<Stg> {
+    let mut out = Stg::new(stg.name.clone());
+    for s in stg.signals().collect::<Vec<_>>() {
+        let sig = stg.signal(s);
+        let id = out.add_signal(sig.name.clone(), sig.kind)?;
+        debug_assert_eq!(id, s);
+        if let Some(v) = stg.initial_value(s) {
+            out.set_initial_value(id, v);
+        }
+    }
+    for h in stg.handshakes().to_vec() {
+        out.add_handshake(h.req, h.ack)?;
+    }
+    let mut tmap: Vec<Option<TransitionId>> = vec![None; stg.net().num_transitions()];
+    for t in stg.transitions().collect::<Vec<_>>() {
+        if !dead_t[t.index()] {
+            tmap[t.index()] = Some(out.add_labelled_transition(stg.label(t).clone()));
+        }
+    }
+    let mut marked = Vec::new();
+    for p in stg.places().collect::<Vec<_>>() {
+        if dead_p[p.index()] {
+            continue;
+        }
+        let np = out.add_named_place(stg.net().place_name(p).to_string());
+        for &t in stg.net().producers(p) {
+            out.arc_tp(tmap[t.index()].expect("arc from removed transition"), np)?;
+        }
+        for &t in stg.net().consumers(p) {
+            out.arc_pt(np, tmap[t.index()].expect("arc to removed transition"))?;
+        }
+        if marking.contains(p) {
+            marked.push(np);
+        }
+    }
+    out.set_initial_places(&marked);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,5 +884,160 @@ mod tests {
         let b = g.signal_by_name("b").unwrap();
         assert_eq!(g.signal(a).kind, SignalKind::Output);
         assert_eq!(g.signal(b).kind, SignalKind::Input);
+    }
+
+    // --- prereduce ---------------------------------------------------
+
+    /// Canonical witness of a reachability graph: sorted enabled-label
+    /// multisets reached by BFS — invariant under place removal when
+    /// the graph is isomorphic.
+    fn reach_shape(g: &Stg) -> (usize, usize, Vec<Vec<String>>) {
+        let rg = ReachabilityGraph::explore_default(g.net(), &g.initial_marking()).unwrap();
+        let arcs = (0..rg.len() as u32).map(|s| rg.successors(s).len()).sum();
+        let mut shapes: Vec<Vec<String>> = (0..rg.len() as u32)
+            .map(|s| {
+                let mut labels: Vec<String> = rg
+                    .successors(s)
+                    .iter()
+                    .map(|&(t, _)| g.transition_name(t).to_string())
+                    .collect();
+                labels.sort();
+                labels
+            })
+            .collect();
+        shapes.sort();
+        (rg.len(), arcs, shapes)
+    }
+
+    #[test]
+    fn prereduce_removes_shortcut_places() {
+        let mut g = crate::parse::parse_g(
+            ".model redundant\n.inputs a\n.outputs x b\n.graph\n\
+             a+ x+ b+\nx+ b+\nb+ a-\na- x- b-\nx- b-\nb- a+\n\
+             .marking { <b-,a+> }\n.end\n",
+        )
+        .unwrap();
+        let before = reach_shape(&g);
+        let stats = prereduce(&mut g).unwrap();
+        assert_eq!(stats.shortcut_places, 2);
+        assert_eq!(stats.places_removed, 2);
+        assert_eq!(stats.transitions_removed, 0);
+        g.validate().unwrap();
+        assert_eq!(reach_shape(&g), before, "reachable graph changed");
+        // Idempotent: a second pass finds nothing.
+        assert!(!prereduce(&mut g).unwrap().changed());
+    }
+
+    #[test]
+    fn prereduce_respects_token_budgets_on_shortcuts() {
+        // The direct place is unmarked but the only alternative path
+        // holds a token: once that token is spent the path no longer
+        // bounds the direct place, so the rule must not fire.
+        let mut g = Stg::new("budget");
+        let a = g.add_signal("a", SignalKind::Input).unwrap();
+        let x = g.add_signal("x", SignalKind::Output).unwrap();
+        let b = g.add_signal("b", SignalKind::Output).unwrap();
+        let ap = g.add_edge_transition(a, Polarity::Rise);
+        let xp = g.add_edge_transition(x, Polarity::Rise);
+        let bp = g.add_edge_transition(b, Polarity::Rise);
+        let direct = g.connect(ap, bp).unwrap(); // unmarked: budget 0
+        let q1 = g.connect(ap, xp).unwrap(); // marked: path sum 1
+        g.connect(xp, bp).unwrap();
+        let back = g.connect(bp, ap).unwrap();
+        g.set_initial_places(&[q1, back]);
+        let before_places = g.net().num_places();
+        let stats = prereduce(&mut g).unwrap();
+        assert!(!stats.changed(), "budget-violating path used: {stats:?}");
+        assert_eq!(g.net().num_places(), before_places);
+        let _ = direct;
+    }
+
+    #[test]
+    fn prereduce_removes_duplicates_and_self_loops() {
+        let mut g = chain();
+        let ap = g.transition_by_label("a+").unwrap();
+        let bp = g.transition_by_label("b+").unwrap();
+        // A twin of the existing <a+,b+> place, same (empty) marking.
+        let twin = g.add_named_place("twin");
+        g.arc_tp(ap, twin).unwrap();
+        g.arc_pt(twin, bp).unwrap();
+        // A marked self-loop on b+.
+        let lp = g.add_named_place("selfloop");
+        g.arc_tp(bp, lp).unwrap();
+        g.arc_pt(lp, bp).unwrap();
+        let mut marked: Vec<_> = g.initial_marking().iter().collect();
+        marked.push(lp);
+        g.set_initial_places(&marked);
+        let before = reach_shape(&g);
+        let stats = prereduce(&mut g).unwrap();
+        assert_eq!(stats.duplicate_places, 1);
+        assert_eq!(stats.self_loop_places, 1);
+        assert_eq!(stats.places_removed, 2);
+        g.validate().unwrap();
+        assert_eq!(reach_shape(&g), before);
+    }
+
+    #[test]
+    fn prereduce_merges_series_dummies() {
+        // a+ -> dum -> b+ -> a- -> b- -> (back): the dummy state
+        // vanishes, shrinking the reachable graph by exactly one state
+        // while the signal-labelled arcs survive.
+        let mut g = Stg::new("dummychain");
+        let a = g.add_signal("a", SignalKind::Input).unwrap();
+        let b = g.add_signal("b", SignalKind::Output).unwrap();
+        let ap = g.add_edge_transition(a, Polarity::Rise);
+        let bp = g.add_edge_transition(b, Polarity::Rise);
+        let am = g.add_edge_transition(a, Polarity::Fall);
+        let bm = g.add_edge_transition(b, Polarity::Fall);
+        let d = g.add_dummy_transition("dum");
+        g.connect(ap, d).unwrap();
+        g.connect(d, bp).unwrap();
+        g.connect(bp, am).unwrap();
+        g.connect(am, bm).unwrap();
+        let back = g.connect(bm, ap).unwrap();
+        g.set_initial_places(&[back]);
+        let before = reach_shape(&g);
+        let stats = prereduce(&mut g).unwrap();
+        assert_eq!(stats.dummy_merges, 1);
+        assert_eq!(stats.transitions_removed, 1);
+        assert_eq!(stats.places_removed, 1);
+        g.validate().unwrap();
+        let after = reach_shape(&g);
+        assert_eq!(after.0, before.0 - 1, "ε-state not contracted");
+        assert!(g.transition_by_label("dum").is_none());
+        // All signal transitions still fire.
+        let rg = ReachabilityGraph::explore_default(g.net(), &g.initial_marking()).unwrap();
+        assert!(rg.all_transitions_fire(g.net()));
+    }
+
+    #[test]
+    fn prereduce_skips_partial_and_preserves_labels() {
+        let mut partial = partial_channel();
+        let before = partial.clone();
+        assert!(!prereduce(&mut partial).unwrap().changed());
+        assert_eq!(partial, before, "partial specification touched");
+
+        // Instance numbers survive compaction verbatim: a net with
+        // a+/2 plus a removable twin place keeps the /2 label.
+        let mut g = Stg::new("instances");
+        let a = g.add_signal("a", SignalKind::Input).unwrap();
+        let b = g.add_signal("b", SignalKind::Output).unwrap();
+        let ap1 = g.add_edge_transition(a, Polarity::Rise);
+        let bp = g.add_edge_transition(b, Polarity::Rise);
+        let ap2 = g.add_edge_transition(a, Polarity::Rise);
+        let bm = g.add_edge_transition(b, Polarity::Fall);
+        g.connect(ap1, bp).unwrap();
+        let twin = g.add_named_place("twin");
+        g.arc_tp(ap1, twin).unwrap();
+        g.arc_pt(twin, bp).unwrap();
+        g.connect(bp, ap2).unwrap();
+        g.connect(ap2, bm).unwrap();
+        let back = g.connect(bm, ap1).unwrap();
+        g.set_initial_places(&[back]);
+        // (a+ twice in a cycle is not 1-safe-consistent as an STG code,
+        // but the structural pass only looks at the net.)
+        let stats = prereduce(&mut g).unwrap();
+        assert_eq!(stats.duplicate_places, 1);
+        assert!(g.transition_by_label("a+/2").is_some(), "instance lost");
     }
 }

@@ -284,6 +284,13 @@ struct SynthStats {
     executed: AtomicU64,
     coalesced: AtomicU64,
     timeouts: AtomicU64,
+    /// Places removed by structural pre-reduction, summed over runs.
+    prereduce_places: AtomicU64,
+    /// Transitions removed by structural pre-reduction, summed over runs.
+    prereduce_transitions: AtomicU64,
+    /// Lattice restriction products served from the shared-prefix
+    /// cache, summed over runs.
+    lattice_prefix_hits: AtomicU64,
 }
 
 /// Number of reportable pipeline stages (the five real stages plus the
@@ -346,6 +353,16 @@ impl SynthService {
             slot.1 += report.wall;
             self.stage_hists[i].record(report.wall);
         }
+        drop(totals);
+        self.stats
+            .prereduce_places
+            .fetch_add(diag.prereduce_places_removed, Ordering::Relaxed);
+        self.stats
+            .prereduce_transitions
+            .fetch_add(diag.prereduce_transitions_removed, Ordering::Relaxed);
+        self.stats
+            .lattice_prefix_hits
+            .fetch_add(diag.lattice_prefix_hits, Ordering::Relaxed);
     }
 }
 
@@ -671,6 +688,15 @@ impl SynthService {
             ("write_errors", stat(&e.write_errors)),
             ("in_flight", Json::Num(self.flights.in_flight() as f64)),
             (
+                "prereduce_places_removed",
+                stat(&self.stats.prereduce_places),
+            ),
+            (
+                "prereduce_transitions_removed",
+                stat(&self.stats.prereduce_transitions),
+            ),
+            ("lattice_prefix_hits", stat(&self.stats.lattice_prefix_hits)),
+            (
                 "cache",
                 Json::obj(vec![
                     ("entries", Json::Num(cache.len() as f64)),
@@ -747,6 +773,21 @@ impl SynthService {
             "reshuffle_write_errors_total",
             "Responses that failed to write (client gone).",
             stat(&e.write_errors),
+        );
+        w.counter(
+            "reshuffle_prereduce_places_removed_total",
+            "Places removed by structural pre-reduction before state-graph builds.",
+            stat(&self.stats.prereduce_places),
+        );
+        w.counter(
+            "reshuffle_prereduce_transitions_removed_total",
+            "Transitions removed by structural pre-reduction (series dummy merges).",
+            stat(&self.stats.prereduce_transitions),
+        );
+        w.counter(
+            "reshuffle_lattice_prefix_hits_total",
+            "Lattice restriction products served from the shared-prefix cache.",
+            stat(&self.stats.lattice_prefix_hits),
         );
         let cache = &self.cache;
         w.counter(

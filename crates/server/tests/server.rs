@@ -397,6 +397,9 @@ fn metrics_serves_valid_prometheus_with_latency_histograms() {
         "reshuffle_requests_total",
         "reshuffle_synth_requests_total",
         "reshuffle_cache_hits_total",
+        "reshuffle_prereduce_places_removed_total",
+        "reshuffle_prereduce_transitions_removed_total",
+        "reshuffle_lattice_prefix_hits_total",
         "reshuffle_request_duration_seconds",
         "reshuffle_queue_wait_seconds",
         "reshuffle_flight_wait_seconds",

@@ -1,11 +1,19 @@
 //! Deriving minimized next-state functions from a state graph.
 
-use reshuffle_logic::{complement, minimize, Cover};
+use reshuffle_logic::{complement, minimize, minimize_codes, Cover};
 use reshuffle_petri::SignalId;
 use reshuffle_sg::nextstate::{next_state_table, NextStateTable};
 use reshuffle_sg::StateGraph;
 
 use crate::error::{Result, SynthError};
+
+/// Above this many reachable codes per table the cube-list espresso
+/// path (quadratic-or-worse in the minterm count) is replaced by the
+/// BDD-backed interval minimizer [`minimize_codes`], whose cost tracks
+/// the decision-diagram sizes instead. The corpus-sized functions stay
+/// on the cube-list path so their covers — and the literal counts
+/// pinned in `BENCH_tables.json` — are bit-for-bit unchanged.
+const SCALABLE_MINTERM_THRESHOLD: usize = 4096;
 
 /// The minimized next-state function of one signal.
 #[derive(Debug, Clone)]
@@ -66,11 +74,20 @@ pub fn derive_function(
         });
     }
     let nv = table.num_vars;
-    let on = Cover::from_minterms(nv, &table.on);
-    let off = Cover::from_minterms(nv, &table.off);
-    // dc = everything not in on or off (unreachable codes + conflicts).
-    let dc = complement(&on.or(&off));
-    let cover = minimize(&on, &dc);
+    let reachable = table.on.len() + table.off.len() + table.conflicting.len();
+    let cover = if reachable <= SCALABLE_MINTERM_THRESHOLD {
+        let on = Cover::from_minterms(nv, &table.on);
+        let off = Cover::from_minterms(nv, &table.off);
+        // dc = everything not in on or off (unreachable codes + conflicts).
+        let dc = complement(&on.or(&off));
+        minimize(&on, &dc)
+    } else {
+        // Million-state tables: same contract (on ⊆ f ⊆ on ∪ dc),
+        // derived through BDDs so the cost does not explode with the
+        // state count. Conflicting codes are in neither list, i.e.
+        // don't-care — identical to the cube-list path above.
+        minimize_codes(nv, &table.on, &table.off)
+    };
     Ok(SignalFunction {
         signal,
         cover,

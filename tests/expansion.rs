@@ -182,6 +182,31 @@ fn ranked_selection_strictly_beats_the_eager_expansion_on_pcreq() {
 }
 
 #[test]
+fn trie_realization_beats_chained_on_the_partial_corpus() {
+    // The shared-prefix cache must save real work on both partial
+    // corpus entries (`hslr`, `pcreq`): strictly fewer restriction
+    // products executed than the per-point chained path would run,
+    // with the hit/product accounting adding up exactly.
+    for (name, spec) in partial_specs() {
+        let e = reshuffle_handshake::expand_handshakes_stats(&spec, &ExpansionOptions::default())
+            .unwrap_or_else(|err| panic!("{name}: expansion failed: {err}"));
+        assert_eq!(
+            e.stats.chained_products,
+            e.stats.restriction_products + e.stats.prefix_hits,
+            "{name}: product accounting broken: {:?}",
+            e.stats
+        );
+        assert!(
+            e.stats.restriction_products < e.stats.chained_products,
+            "{name}: trie executed {} products, chained would run {}",
+            e.stats.restriction_products,
+            e.stats.chained_products
+        );
+        assert!(e.stats.prefix_hits > 0, "{name}: no prefix reuse");
+    }
+}
+
+#[test]
 fn partial_specs_error_without_the_expand_stage() {
     for (name, spec) in partial_specs() {
         let src = reshuffle_petri::write_g(&spec);

@@ -170,6 +170,33 @@ fn golden_corpus() {
 }
 
 #[test]
+fn prereduce_is_outcome_neutral_across_corpus_and_modes() {
+    // Structural pre-reduction may only rewrite the net, never the
+    // behaviour: for every corpus entry and every pipeline mode, the
+    // run with prereduce disabled must produce the identical golden
+    // outcome line, and — where synthesis succeeds — the identical
+    // final state-graph fingerprint.
+    for (name, src) in examples::ALL {
+        for (mode, opts) in golden_modes() {
+            let on = run(src, &opts);
+            let off = run(src, &opts.clone().with_prereduce(false));
+            assert_eq!(
+                golden_line(name, mode, &on),
+                golden_line(name, mode, &off),
+                "{name}/{mode}: prereduce changed the synthesis outcome"
+            );
+            if let (Ok(a), Ok(b)) = (&on, &off) {
+                assert_eq!(
+                    a.sg.fingerprint(),
+                    b.sg.fingerprint(),
+                    "{name}/{mode}: prereduce changed the final state graph"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn golden_corpus_netlists_verify() {
     // Golden literal counts alone could pin a wrong implementation;
     // every successfully synthesized netlist must also model-check
